@@ -1,0 +1,69 @@
+// Ablation (paper §5.1): balancing by measured layer *time* vs by
+// *parameter count*, across the six dynamic-model cases.  The paper
+// observes that time-based balancing consistently outperforms
+// parameter-count balancing at every scale — parameters are a poor proxy
+// once dynamism decouples load from size (frozen layers keep their params;
+// sparse-attention cost has nothing to do with params at all).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dynmo;
+  std::printf("Ablation — balance by time vs by params (48-layer GPT, "
+              "DynMo Partition)\n\n");
+  std::printf("%-22s %14s %14s %10s\n", "use case", "by-param tok/s",
+              "by-time tok/s", "time/param");
+
+  const auto model = model::make_gpt({.num_blocks = 48,
+                                      .include_embedding = false,
+                                      .include_lm_head = false});
+  struct Case {
+    UseCase uc;
+    std::int64_t interval;
+    std::int64_t iters;
+    std::int64_t stride;
+  };
+  const Case cases[] = {
+      {UseCase::GradualPruning, 1000, 10000, 100},
+      {UseCase::LayerFreezing, 300, 10000, 100},
+      {UseCase::SparseAttention, 1, 1000, 10},
+      {UseCase::EarlyExit, 100, 10000, 100},
+      {UseCase::MixtureOfDepths, 1, 1000, 10},
+  };
+  for (const auto& c : cases) {
+    Options opt;
+    opt.session = bench::gpt_cluster_config_deep_stages();
+    opt.session.rebalance_interval = c.interval;
+    opt.session.iterations = c.iters;
+    opt.session.sim_stride = c.stride;
+    const auto by_param = bench::run_config(
+        model, c.uc, opt, runtime::BalancingMode::DynMo,
+        balance::Algorithm::Partition, balance::BalanceBy::Param);
+    const auto by_time = bench::run_config(
+        model, c.uc, opt, runtime::BalancingMode::DynMo,
+        balance::Algorithm::Partition, balance::BalanceBy::Time);
+    std::printf("%-22s %14.0f %14.0f %9.2fx\n", to_string(c.uc),
+                by_param.tokens_per_sec, by_time.tokens_per_sec,
+                by_time.tokens_per_sec / by_param.tokens_per_sec);
+  }
+
+  // MoE on its own cluster.
+  {
+    const auto moe = model::make_moe(model::mixtral_8x7b_config(), "m");
+    Options opt;
+    opt.session = bench::moe_cluster_config();
+    opt.session.rebalance_interval = 1;
+    opt.session.iterations = 500;
+    opt.session.sim_stride = 10;
+    opt.moe.tokens_per_microbatch = 1024;
+    const auto by_param = bench::run_config(
+        moe, UseCase::Moe, opt, runtime::BalancingMode::DynMo,
+        balance::Algorithm::Partition, balance::BalanceBy::Param);
+    const auto by_time = bench::run_config(
+        moe, UseCase::Moe, opt, runtime::BalancingMode::DynMo,
+        balance::Algorithm::Partition, balance::BalanceBy::Time);
+    std::printf("%-22s %14.0f %14.0f %9.2fx\n", "moe (mixtral)",
+                by_param.tokens_per_sec, by_time.tokens_per_sec,
+                by_time.tokens_per_sec / by_param.tokens_per_sec);
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 1: average GPU idleness per iteration for the six dynamic model
+// types on *static* placement (the motivation figure — how much compute
+// dynamic models waste without dynamic load balancing).
+//
+// Paper observations this harness reproduces in shape:
+//   MoE        ~25% bubble ratio (Mixtral aux-loss / S-BASE)
+//   Pruning    ~5x idleness increase at 90% sparsity vs dense
+//   Freezing   ~40% bubble ratio
+//   SparseAttn ~4x bubble increase over dense attention
+//   EarlyExit  up to ~5x bubble increase over no-exit
+//   MoD        ~18% bubble ratio
+#include "bench_common.hpp"
+
+namespace {
+
+dynmo::runtime::SessionResult run_static(const dynmo::model::ModelDesc& m,
+                                         dynmo::UseCase uc,
+                                         dynmo::Options opt) {
+  using namespace dynmo;
+  opt.session.mode = runtime::BalancingMode::StaticUniform;
+  Session s(m, uc, opt);
+  return s.run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dynmo;
+  std::printf("Figure 1 — average GPU idleness per iteration, static "
+              "placement (zero-bubble schedule)\n\n");
+
+  // --- GPT sweeps: pruning / freezing / sparse attention / early exit /
+  // MoD, 24..48 layers --------------------------------------------------
+  std::printf("%-22s %8s %8s %8s %8s\n", "scheme \\ layers", "24", "32",
+              "40", "48");
+  struct SchemeRow {
+    const char* name;
+    UseCase use_case;
+    std::int64_t iters;
+    std::int64_t stride;
+  };
+  const SchemeRow schemes[] = {
+      {"dense (baseline)", UseCase::Static, 500, 10},
+      {"pruning @90%", UseCase::GradualPruning, 10000, 100},
+      {"layer freezing", UseCase::LayerFreezing, 10000, 100},
+      {"sparse attention", UseCase::SparseAttention, 1000, 10},
+      {"early exit", UseCase::EarlyExit, 10000, 100},
+      {"mixture of depths", UseCase::MixtureOfDepths, 1000, 10},
+  };
+  for (const auto& row : schemes) {
+    std::printf("%-22s", row.name);
+    for (std::size_t blocks : {24u, 32u, 40u, 48u}) {
+      const auto model = model::make_gpt({.num_blocks = blocks,
+                                          .include_embedding = false,
+                                          .include_lm_head = false});
+      Options opt;
+      opt.session = bench::gpt_cluster_config_deep_stages();
+      opt.session.iterations = row.iters;
+      opt.session.sim_stride = row.stride;
+      const auto r = run_static(model, row.use_case, opt);
+      std::printf(" %7.1f%%", 100.0 * r.avg_idleness);
+    }
+    std::printf("\n");
+  }
+
+  // --- MoE: the two continual-training models ---------------------------
+  std::printf("\n%-34s %10s %12s\n", "MoE model", "idleness", "bubble ratio");
+  const struct {
+    const char* name;
+    model::MoeConfig cfg;
+    dynamic::MoeRouting routing;
+  } moes[] = {
+      {"Mixtral 8x7b (aux-loss)", model::mixtral_8x7b_config(),
+       dynamic::MoeRouting::AuxLoss},
+      {"LLaMA-MoE-3.5B (S-BASE)", model::llama_moe_3_5b_config(),
+       dynamic::MoeRouting::SBase},
+  };
+  for (const auto& m : moes) {
+    const auto model = model::make_moe(m.cfg, m.name);
+    Options opt;
+    opt.session = bench::moe_cluster_config();
+    opt.session.iterations = 500;
+    opt.session.sim_stride = 10;
+    opt.moe.routing = m.routing;
+    const auto r = run_static(model, UseCase::Moe, opt);
+    std::printf("%-34s %9.1f%% %11.1f%%\n", m.name, 100.0 * r.avg_idleness,
+                100.0 * r.avg_bubble_ratio);
+  }
+
+  // --- pruning idleness vs sparsity level (Fig. 1 panel 2's x-axis) -----
+  std::printf("\npruning idleness vs sparsity (48 layers): ");
+  const auto model = model::make_gpt({.num_blocks = 48,
+                                      .include_embedding = false,
+                                      .include_lm_head = false});
+  for (double sparsity : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+    Options opt;
+    opt.session = bench::gpt_cluster_config_deep_stages();
+    opt.session.iterations = 300;
+    opt.session.sim_stride = 10;
+    opt.pruning.schedule.start_iter = 0;
+    opt.pruning.schedule.frequency = 1;
+    opt.pruning.schedule.num_steps = 1;
+    opt.pruning.schedule.initial_sparsity = sparsity;
+    opt.pruning.schedule.final_sparsity = sparsity;
+    const auto r = run_static(model, UseCase::GradualPruning, opt);
+    std::printf(" %.0f%%:%4.1f%%", 100.0 * sparsity, 100.0 * r.avg_idleness);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Micro-benchmarks (google-benchmark) for the balancing algorithms — the
+// "decide" component of DynMo's overhead table.  Both balancers must stay
+// in the microsecond range even at hundreds of layers, which is what makes
+// every-iteration rebalancing viable.
+#include <benchmark/benchmark.h>
+
+#include "balance/diffusion.hpp"
+#include "balance/migration.hpp"
+#include "balance/partition.hpp"
+#include "core/rng.hpp"
+
+namespace {
+
+using namespace dynmo;
+
+std::vector<double> weights(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w(n);
+  for (auto& v : w) v = rng.lognormal(0.0, 0.8);
+  return w;
+}
+
+void BM_PartitionBalance(benchmark::State& state) {
+  const auto layers = static_cast<std::size_t>(state.range(0));
+  const int stages = static_cast<int>(state.range(1));
+  balance::PartitionRequest req;
+  req.weights = weights(layers, 7);
+  req.num_stages = stages;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balance::PartitionBalancer{}.balance(req));
+  }
+}
+BENCHMARK(BM_PartitionBalance)
+    ->Args({32, 8})
+    ->Args({64, 16})
+    ->Args({128, 24})
+    ->Args({512, 96});
+
+void BM_DiffusionBalance(benchmark::State& state) {
+  const auto layers = static_cast<std::size_t>(state.range(0));
+  const int stages = static_cast<int>(state.range(1));
+  balance::DiffusionRequest req;
+  req.weights = weights(layers, 8);
+  const auto start = pipeline::StageMap::uniform(layers, stages);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balance::DiffusionBalancer{}.balance(req, start));
+  }
+}
+BENCHMARK(BM_DiffusionBalance)
+    ->Args({32, 8})
+    ->Args({64, 16})
+    ->Args({128, 24});
+
+void BM_MigrationPlanning(benchmark::State& state) {
+  const auto layers = static_cast<std::size_t>(state.range(0));
+  const auto w = weights(layers, 9);
+  std::vector<double> mem(layers, 1e9);
+  const auto before = pipeline::StageMap::uniform(layers, 8);
+  balance::PartitionRequest req;
+  req.weights = w;
+  req.num_stages = 8;
+  const auto after = balance::PartitionBalancer{}.balance(req).map;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balance::plan_migration(before, after, mem));
+  }
+}
+BENCHMARK(BM_MigrationPlanning)->Arg(48)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

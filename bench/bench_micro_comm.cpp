@@ -1,0 +1,78 @@
+// Micro-benchmarks (google-benchmark) for the in-process communication
+// substrate: P2P round-trips, collectives, and communicator split — the
+// primitives under layer migration and distributed pruning.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "comm/communicator.hpp"
+
+namespace {
+
+using namespace dynmo::comm;
+
+void BM_PingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  World world(2);
+  std::vector<std::byte> payload(bytes);
+  std::atomic<bool> stop{false};
+  std::thread echo([&world, &stop] {
+    Communicator c = world.world_comm(1);
+    for (;;) {
+      auto m = c.try_recv(0, 1);
+      if (m) {
+        c.send(0, 2, std::move(m->payload));
+      } else if (stop.load()) {
+        return;
+      }
+    }
+  });
+  Communicator c = world.world_comm(0);
+  for (auto _ : state) {
+    c.send(1, 1, payload);
+    benchmark::DoNotOptimize(c.recv(1, 2));
+  }
+  stop.store(true);
+  echo.join();
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations() * 2);
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t doubles = 256;
+  for (auto _ : state) {
+    World world(ranks);
+    std::vector<std::thread> ts;
+    for (int r = 0; r < ranks; ++r) {
+      ts.emplace_back([&world, r] {
+        Communicator c = world.world_comm(r);
+        std::vector<double> mine(doubles, static_cast<double>(r));
+        benchmark::DoNotOptimize(c.allreduce_sum(std::move(mine)));
+      });
+    }
+    for (auto& t : ts) t.join();
+  }
+}
+BENCHMARK(BM_Allreduce)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CommSplit(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    World world(ranks);
+    std::vector<std::thread> ts;
+    for (int r = 0; r < ranks; ++r) {
+      ts.emplace_back([&world, r, ranks] {
+        Communicator c = world.world_comm(r);
+        benchmark::DoNotOptimize(c.split(r < ranks / 2 ? 0 : -1, r));
+      });
+    }
+    for (auto& t : ts) t.join();
+  }
+}
+BENCHMARK(BM_CommSplit)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Figure 4 (right table): DynMo's load-balancing overhead per use case —
+// profiling + balancing-algorithm + layer-migration time as a percentage
+// of total training time, with the per-component breakdown.
+//
+// Paper values: pruning <0.1%, freezing <0.1%, sparse attention 2-13%,
+// early exit <=0.3%, MoDs 2-7%, MoEs 4-5%.  The expensive cases are the
+// ones that rebalance every iteration.
+#include "bench_common.hpp"
+
+namespace {
+
+void report(const char* name, const dynmo::runtime::SessionResult& r,
+            const char* frequency) {
+  const double total = std::max(1e-12, r.total_time_s);
+  std::printf("%-22s %8.3f%%   profile %6.3f%%  decide %6.3f%%  "
+              "migrate %6.3f%%   (%s)\n",
+              name, 100.0 * r.overhead_fraction,
+              100.0 * r.overhead.profile_s / total,
+              100.0 * r.overhead.decide_s / total,
+              100.0 * r.overhead.migrate_s / total, frequency);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dynmo;
+  std::printf("Load-balancing overhead breakdown (48-layer GPT unless "
+              "noted)\n\n");
+  std::printf("%-22s %9s\n", "use case", "overhead");
+
+  const auto model = model::make_gpt({.num_blocks = 48,
+                                      .include_embedding = false,
+                                      .include_lm_head = false});
+
+  {
+    Options opt;
+    opt.session = bench::gpt_cluster_config();
+    opt.session.rebalance_interval = 1000;
+    const auto r = bench::run_config(
+        model, UseCase::GradualPruning, opt, runtime::BalancingMode::DynMo,
+        balance::Algorithm::Diffusion, balance::BalanceBy::Time);
+    report("pruning", r, "every 1,000 iterations");
+  }
+  {
+    Options opt;
+    opt.session = bench::gpt_cluster_config();
+    opt.session.rebalance_interval = 300;
+    const auto r = bench::run_config(
+        model, UseCase::LayerFreezing, opt, runtime::BalancingMode::DynMo,
+        balance::Algorithm::Diffusion, balance::BalanceBy::Time);
+    report("layer freezing", r, "every 300 iterations");
+  }
+  {
+    Options opt;
+    opt.session = bench::gpt_cluster_config();
+    opt.session.iterations = 2000;
+    opt.session.sim_stride = 10;
+    opt.session.rebalance_interval = 1;
+    const auto r = bench::run_config(
+        model, UseCase::SparseAttention, opt, runtime::BalancingMode::DynMo,
+        balance::Algorithm::Diffusion, balance::BalanceBy::Time);
+    report("sparse attention", r, "every iteration");
+  }
+  {
+    Options opt;
+    opt.session = bench::gpt_cluster_config();
+    opt.session.rebalance_interval = 100;
+    const auto r = bench::run_config(
+        model, UseCase::EarlyExit, opt, runtime::BalancingMode::DynMo,
+        balance::Algorithm::Diffusion, balance::BalanceBy::Time);
+    report("early exit", r, "every 100 iterations");
+  }
+  {
+    Options opt;
+    opt.session = bench::gpt_cluster_config();
+    opt.session.iterations = 2000;
+    opt.session.sim_stride = 10;
+    opt.session.rebalance_interval = 1;
+    const auto r = bench::run_config(
+        model, UseCase::MixtureOfDepths, opt, runtime::BalancingMode::DynMo,
+        balance::Algorithm::Diffusion, balance::BalanceBy::Time);
+    report("mixture of depths", r, "every iteration");
+  }
+  {
+    const auto moe = model::make_moe(model::mixtral_8x7b_config(), "mixtral");
+    Options opt;
+    opt.session = bench::moe_cluster_config();
+    opt.session.iterations = 500;
+    opt.session.sim_stride = 5;
+    opt.session.rebalance_interval = 1;
+    const auto r = bench::run_config(
+        moe, UseCase::Moe, opt, runtime::BalancingMode::DynMo,
+        balance::Algorithm::Diffusion, balance::BalanceBy::Time);
+    report("MoE (Mixtral 8x7b)", r, "every iteration");
+  }
+  return 0;
+}

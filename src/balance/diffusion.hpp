@@ -1,0 +1,53 @@
+// Decentralized iterative Diffusion balancer (paper §3.3, second algorithm).
+//
+// Starting from the current stage map, stages repeatedly exchange boundary
+// layers with their pipeline neighbors to shrink pairwise load gaps — the
+// "max neighbor averaging" protocol of Lemma 2.  Convergence is tracked by
+// the Lyapunov potential
+//     φ(r) = Σ_{u,v} |x_u(r) − x_v(r)|
+// which the lemma proves monotonically non-increasing and γ-convergent in
+// O(N² log(SN/γ) log N) rounds.  This implementation runs the protocol's
+// rounds centrally (each round only uses neighbor-local information, so a
+// per-rank implementation exchanges the same data over the communicator —
+// see balance::distributed_diffusion_round for that path).
+#pragma once
+
+#include <vector>
+
+#include "pipeline/stage_map.hpp"
+
+namespace dynmo::balance {
+
+struct DiffusionRequest {
+  std::vector<double> weights;       ///< per-layer load
+  std::vector<double> memory_bytes;  ///< per-layer memory (may be empty)
+  double mem_capacity = 0.0;         ///< per-stage cap; <=0 → unconstrained
+  double gamma = 0.0;     ///< convergence threshold on φ; <=0 → 1e-3·Σw
+  int max_rounds = 0;     ///< 0 → the Lemma-2 bound for this instance
+};
+
+struct DiffusionResult {
+  pipeline::StageMap map;
+  int rounds = 0;
+  int layer_moves = 0;
+  bool converged = false;
+  /// Best-so-far φ after each round (φ(0) first).  Monotone non-increasing:
+  /// the protocol may pass through transiently worse placements while
+  /// realizing flows, but the best achievable balance only improves.
+  std::vector<double> phi_history;
+};
+
+class DiffusionBalancer {
+ public:
+  DiffusionResult balance(const DiffusionRequest& req,
+                          const pipeline::StageMap& start) const;
+
+  /// φ(r) = Σ over *all pairs* of |x_u − x_v| (the lemma's potential).
+  static double potential(std::span<const double> loads);
+
+  /// The Lemma-2 round bound ~ 60·N²·ln(2N)·ln(S·N²/γ) for this instance.
+  static int lemma2_round_bound(int num_stages, double total_load,
+                                double gamma);
+};
+
+}  // namespace dynmo::balance

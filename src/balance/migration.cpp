@@ -1,0 +1,53 @@
+#include "balance/migration.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.hpp"
+
+namespace dynmo::balance {
+
+double MigrationPlan::total_bytes() const {
+  double acc = 0.0;
+  for (const auto& t : transfers) acc += t.bytes;
+  return acc;
+}
+
+double MigrationPlan::estimated_time_s(const comm::CostModel& net,
+                                       int first_global_rank) const {
+  // Serialize per endpoint: a rank's migration time is the sum of the
+  // p2p times of every transfer it participates in; the plan completes when
+  // the busiest rank does.
+  std::map<int, double> rank_time;
+  for (const auto& t : transfers) {
+    const int src = first_global_rank + t.src_stage;
+    const int dst = first_global_rank + t.dst_stage;
+    const double s =
+        net.p2p_time(src, dst, static_cast<std::size_t>(t.bytes));
+    rank_time[src] += s;
+    rank_time[dst] += s;
+  }
+  double worst = 0.0;
+  for (const auto& [rank, s] : rank_time) worst = std::max(worst, s);
+  return worst;
+}
+
+MigrationPlan plan_migration(const pipeline::StageMap& before,
+                             const pipeline::StageMap& after,
+                             std::span<const double> state_bytes) {
+  DYNMO_CHECK(before.num_layers() == after.num_layers(),
+              "stage maps cover different layer counts");
+  DYNMO_CHECK(state_bytes.size() == before.num_layers(),
+              "state_bytes size mismatch");
+  MigrationPlan plan;
+  for (std::size_t l = 0; l < before.num_layers(); ++l) {
+    const int src = before.stage_of(l);
+    const int dst = after.stage_of(l);
+    if (src != dst) {
+      plan.transfers.push_back(LayerTransfer{l, src, dst, state_bytes[l]});
+    }
+  }
+  return plan;
+}
+
+}  // namespace dynmo::balance

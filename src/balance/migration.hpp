@@ -1,0 +1,40 @@
+// Migration planning: the diff between two stage maps, and its modeled cost.
+//
+// When a layer moves from GPU A to GPU B, its weights, gradients, and
+// optimizer state are transferred and its memory is released on A (paper
+// §4.1).  The plan groups transfers per (src,dst) pair; distinct pairs move
+// concurrently, transfers sharing an endpoint serialize — so the modeled
+// migration time is the per-rank bottleneck.
+#pragma once
+
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "pipeline/stage_map.hpp"
+
+namespace dynmo::balance {
+
+struct LayerTransfer {
+  std::size_t layer = 0;
+  int src_stage = 0;
+  int dst_stage = 0;
+  double bytes = 0.0;
+};
+
+struct MigrationPlan {
+  std::vector<LayerTransfer> transfers;
+
+  bool empty() const { return transfers.empty(); }
+  double total_bytes() const;
+  /// Wall-clock estimate under per-rank serialization.
+  double estimated_time_s(const comm::CostModel& net,
+                          int first_global_rank = 0) const;
+};
+
+/// Diff `before` → `after`; `state_bytes[l]` is what layer l's migration
+/// actually moves (params+grads+optimizer; CSR index arrays when pruned).
+MigrationPlan plan_migration(const pipeline::StageMap& before,
+                             const pipeline::StageMap& after,
+                             std::span<const double> state_bytes);
+
+}  // namespace dynmo::balance

@@ -1,0 +1,186 @@
+#include "balance/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace dynmo::balance {
+
+namespace {
+
+struct ProbeResult {
+  std::vector<std::size_t> boundaries;
+  bool fits_stages = false;
+  bool fits_memory = true;
+  double bottleneck = 0.0;
+};
+
+/// Greedy maximal packing: each stage takes layers while staying within the
+/// load cap and the memory cap.  Returns whether <= num_stages were used.
+ProbeResult probe_maximal(std::span<const double> w,
+                          std::span<const double> mem, double cap,
+                          double memcap, int num_stages) {
+  ProbeResult r;
+  r.boundaries.push_back(0);
+  double load = 0.0;
+  double m = 0.0;
+  double bottleneck = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double lw = w[i];
+    const double lm = mem.empty() ? 0.0 : mem[i];
+    const bool stage_empty = (r.boundaries.back() == i);
+    const bool over_load = load + lw > cap && !stage_empty;
+    const bool over_mem = memcap > 0.0 && m + lm > memcap && !stage_empty;
+    if (over_load || over_mem) {
+      bottleneck = std::max(bottleneck, load);
+      r.boundaries.push_back(i);
+      load = 0.0;
+      m = 0.0;
+    }
+    if (memcap > 0.0 && lm > memcap) r.fits_memory = false;
+    load += lw;
+    m += lm;
+  }
+  bottleneck = std::max(bottleneck, load);
+  r.boundaries.push_back(w.size());
+  r.fits_stages =
+      static_cast<int>(r.boundaries.size()) - 1 <= num_stages;
+  r.bottleneck = bottleneck;
+  // Pad trailing empty stages so the map always has num_stages entries.
+  while (static_cast<int>(r.boundaries.size()) - 1 < num_stages) {
+    r.boundaries.push_back(w.size());
+  }
+  return r;
+}
+
+/// Balanced greedy: aim each stage at the remaining average, never exceeding
+/// `cap`; falls back to nothing if it would burst the stage budget (callers
+/// then keep the maximal packing).
+std::optional<std::vector<std::size_t>> probe_balanced(
+    std::span<const double> w, std::span<const double> mem, double cap,
+    double memcap, int num_stages) {
+  std::vector<std::size_t> b;
+  b.push_back(0);
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  double remaining = total;
+  std::size_t i = 0;
+  for (int s = 0; s < num_stages; ++s) {
+    const int stages_left = num_stages - s;
+    const double target = remaining / stages_left;
+    double load = 0.0;
+    double m = 0.0;
+    while (i < w.size()) {
+      // Leave at least zero layers for later stages; stop when the stage
+      // met its target or would exceed either cap.
+      const double lw = w[i];
+      const double lm = mem.empty() ? 0.0 : mem[i];
+      const bool stage_empty = (b.back() == i);
+      if (!stage_empty) {
+        if (load + lw > cap) break;
+        if (memcap > 0.0 && m + lm > memcap) break;
+        // Past the target and adding would overshoot more than stopping.
+        if (load >= target ||
+            std::abs(load + lw - target) > std::abs(load - target)) {
+          break;
+        }
+      }
+      load += lw;
+      m += lm;
+      ++i;
+    }
+    remaining -= load;
+    b.push_back(i);
+  }
+  if (i != w.size()) return std::nullopt;  // layers left over: infeasible
+  return b;
+}
+
+}  // namespace
+
+double PartitionBalancer::optimal_bottleneck(std::span<const double> weights,
+                                             int num_stages) {
+  DYNMO_CHECK(num_stages > 0, "need stages");
+  if (weights.empty()) return 0.0;
+  std::vector<double> empty_mem;
+  double lo = *std::max_element(weights.begin(), weights.end());
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  lo = std::max(lo, total / num_stages);
+  double hi = total;
+  for (int it = 0; it < 100 && hi - lo > 1e-12 * std::max(1.0, hi); ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe_maximal(weights, empty_mem, mid, 0.0, num_stages).fits_stages) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+PartitionResult PartitionBalancer::balance(const PartitionRequest& req) const {
+  DYNMO_CHECK(req.num_stages > 0, "need at least one stage");
+  DYNMO_CHECK(!req.weights.empty(), "no layers to balance");
+  DYNMO_CHECK(req.memory_bytes.empty() ||
+                  req.memory_bytes.size() == req.weights.size(),
+              "memory vector size mismatch");
+
+  const std::span<const double> w(req.weights);
+  const std::span<const double> mem(req.memory_bytes);
+
+  double lo = *std::max_element(w.begin(), w.end());
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  lo = std::max(lo, total / req.num_stages);
+  double hi = total;
+
+  // Parametric search over the bottleneck value.  The memory constraint can
+  // make low caps infeasible even when pure-load packing would fit, so the
+  // probe enforces both.
+  bool any_feasible =
+      probe_maximal(w, mem, hi, req.mem_capacity, req.num_stages).fits_stages;
+  if (!any_feasible) {
+    // Memory alone forces more than num_stages stages — report least-bad.
+    auto r = probe_maximal(w, mem, hi, req.mem_capacity, req.num_stages);
+    r.boundaries.resize(static_cast<std::size_t>(req.num_stages));
+    r.boundaries.push_back(w.size());
+    PartitionResult out;
+    out.map = pipeline::StageMap::from_boundaries(std::move(r.boundaries));
+    out.memory_feasible = false;
+    const auto loads = out.map.stage_loads(w);
+    out.bottleneck = *std::max_element(loads.begin(), loads.end());
+    return out;
+  }
+
+  for (int it = 0; it < 100 && hi - lo > 1e-12 * std::max(1.0, hi); ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe_maximal(w, mem, mid, req.mem_capacity, req.num_stages)
+            .fits_stages) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Tiny slack so float round-off cannot flip the final probe infeasible.
+  const double cap = hi * (1.0 + 1e-9);
+
+  auto final_probe = probe_maximal(w, mem, cap, req.mem_capacity,
+                                   req.num_stages);
+  DYNMO_CHECK(final_probe.fits_stages, "final probe must fit");
+
+  // Prefer the balanced variant when it matches the optimal bottleneck —
+  // it avoids front-loaded stages with empty tails.
+  std::vector<std::size_t> boundaries = final_probe.boundaries;
+  if (auto balanced =
+          probe_balanced(w, mem, cap, req.mem_capacity, req.num_stages)) {
+    boundaries = std::move(*balanced);
+  }
+
+  PartitionResult out;
+  out.map = pipeline::StageMap::from_boundaries(std::move(boundaries));
+  out.memory_feasible = final_probe.fits_memory;
+  const auto loads = out.map.stage_loads(w);
+  out.bottleneck = *std::max_element(loads.begin(), loads.end());
+  return out;
+}
+
+}  // namespace dynmo::balance

@@ -1,0 +1,51 @@
+// Centralized Partition balancer (paper §3.3, first algorithm).
+//
+// Finds the contiguous layer→stage partition minimizing the bottleneck
+// (maximum stage load) via binary search over the bottleneck value with a
+// greedy feasibility probe — the classic linear-partition parametric search
+// DeepSpeed's partition_balanced utility implements.  Optionally subject to
+// a per-worker memory capacity; when the memory constraint makes the
+// load-optimal cut infeasible, the probe backs off to the best memory-legal
+// cut.
+//
+// Lemma 1 (maximum imbalance reduction ⇔ minimum bubble ratio) is realized
+// here exactly: the returned partition achieves the minimum possible
+// max-stage-load over all contiguous partitions, hence the minimum pipeline
+// bottleneck.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pipeline/stage_map.hpp"
+
+namespace dynmo::balance {
+
+struct PartitionRequest {
+  std::vector<double> weights;       ///< per-layer load
+  std::vector<double> memory_bytes;  ///< per-layer memory (may be empty)
+  double mem_capacity = 0.0;         ///< per-stage cap; <=0 → unconstrained
+  int num_stages = 1;
+};
+
+struct PartitionResult {
+  pipeline::StageMap map;
+  double bottleneck = 0.0;  ///< max stage load achieved
+  bool memory_feasible = true;
+};
+
+class PartitionBalancer {
+ public:
+  /// Throws dynmo::Error on malformed input.  If the memory constraint is
+  /// infeasible even ignoring load (some stage must exceed capacity), the
+  /// result has memory_feasible=false and the least-bad map.
+  PartitionResult balance(const PartitionRequest& req) const;
+
+  /// The minimum achievable bottleneck over contiguous partitions,
+  /// ignoring memory (used by tests to assert optimality).
+  static double optimal_bottleneck(std::span<const double> weights,
+                                   int num_stages);
+};
+
+}  // namespace dynmo::balance

@@ -1,0 +1,26 @@
+#include "balance/profile.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace dynmo::balance {
+
+const char* to_string(BalanceBy by) {
+  return by == BalanceBy::Param ? "by_param" : "by_time";
+}
+
+std::vector<double> balance_weights(const LayerProfile& profile,
+                                    BalanceBy by) {
+  DYNMO_CHECK(profile.consistent(), "inconsistent profile");
+  return by == BalanceBy::Param ? profile.params : profile.time_s;
+}
+
+void add_measurement_noise(LayerProfile& profile, Rng& rng,
+                           double rel_stddev) {
+  for (double& t : profile.time_s) {
+    t *= std::max(0.01, 1.0 + rng.normal(0.0, rel_stddev));
+  }
+}
+
+}  // namespace dynmo::balance

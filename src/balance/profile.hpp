@@ -1,0 +1,43 @@
+// Profiling snapshot: what DynMo learns from the profiling iteration that
+// follows each dynamism step (paper §3.1).
+//
+// The balancers are black-box consumers of this struct — they see measured
+// per-layer times, per-layer memory, and parameter counts, never the
+// dynamism engines themselves.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace dynmo::balance {
+
+struct LayerProfile {
+  std::vector<double> time_s;        ///< measured fwd+bwd seconds per layer
+  std::vector<double> memory_bytes;  ///< resident bytes per layer
+  std::vector<double> params;        ///< parameter counts (static fallback)
+
+  std::size_t num_layers() const { return time_s.size(); }
+  bool consistent() const {
+    return time_s.size() == memory_bytes.size() &&
+           time_s.size() == params.size();
+  }
+};
+
+/// Which per-layer weight drives the balancing decision.  The paper
+/// evaluates both; by-time consistently wins (§5.1).
+enum class BalanceBy { Param, Time };
+
+const char* to_string(BalanceBy by);
+
+/// The weight vector a balancer should use.
+std::vector<double> balance_weights(const LayerProfile& profile, BalanceBy by);
+
+/// Apply multiplicative measurement noise (timers on real systems jitter a
+/// few percent); keeps profiles strictly positive.
+void add_measurement_noise(LayerProfile& profile, Rng& rng,
+                           double rel_stddev = 0.02);
+
+}  // namespace dynmo::balance

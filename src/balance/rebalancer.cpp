@@ -1,0 +1,86 @@
+#include "balance/rebalancer.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace dynmo::balance {
+
+const char* to_string(Algorithm a) {
+  return a == Algorithm::Partition ? "partition" : "diffusion";
+}
+
+RebalanceOutcome Rebalancer::rebalance(
+    const LayerProfile& profile, const pipeline::StageMap& current) const {
+  DYNMO_CHECK(profile.consistent(), "inconsistent profile");
+  DYNMO_CHECK(profile.num_layers() == current.num_layers(),
+              "profile covers " << profile.num_layers()
+                                << " layers, map covers "
+                                << current.num_layers());
+  const int S = current.num_stages();
+  const auto weights = balance_weights(profile, cfg_.by);
+
+  RebalanceOutcome out;
+  {
+    const auto loads = current.stage_loads(weights);
+    out.imbalance_before = load_imbalance(loads);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  switch (cfg_.algorithm) {
+    case Algorithm::Partition: {
+      PartitionRequest req;
+      req.weights = weights;
+      req.memory_bytes = profile.memory_bytes;
+      req.mem_capacity = cfg_.mem_capacity;
+      req.num_stages = S;
+      out.map = PartitionBalancer{}.balance(req).map;
+      break;
+    }
+    case Algorithm::Diffusion: {
+      DiffusionRequest req;
+      req.weights = weights;
+      req.memory_bytes = profile.memory_bytes;
+      req.mem_capacity = cfg_.mem_capacity;
+      req.gamma = cfg_.gamma;
+      out.diffusion = DiffusionBalancer{}.balance(req, current);
+      out.map = out.diffusion->map;
+      break;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Hysteresis: a new placement must pay for its migrations with a real
+  // bottleneck improvement, or we keep the current one.
+  {
+    const auto cur_loads = current.stage_loads(weights);
+    const auto new_loads = out.map.stage_loads(weights);
+    const double cur_max =
+        *std::max_element(cur_loads.begin(), cur_loads.end());
+    const double new_max =
+        *std::max_element(new_loads.begin(), new_loads.end());
+    if (new_max > cur_max * (1.0 - cfg_.min_bottleneck_gain)) {
+      out.map = current;
+    }
+  }
+
+  out.overhead.decide_s =
+      std::chrono::duration<double>(t1 - t0).count();
+  out.overhead.profile_s =
+      cfg_.profile_cost_per_layer_s *
+          static_cast<double>(profile.num_layers()) +
+      cfg_.profile_cost_per_worker_s * static_cast<double>(S);
+
+  out.migration = plan_migration(current, out.map, profile.memory_bytes);
+  out.overhead.migrate_s = out.migration.estimated_time_s(net_);
+
+  {
+    const auto loads = out.map.stage_loads(weights);
+    out.imbalance_after = load_imbalance(loads);
+  }
+  return out;
+}
+
+}  // namespace dynmo::balance

@@ -1,0 +1,79 @@
+// Rebalance orchestrator: profile → decide → migrate (paper Fig. 2, steps
+// 3–4), with the overhead accounting behind the paper's Figure 4 table.
+//
+// The decision time is *actually measured* (wall clock of the balancing
+// algorithm run); profiling and migration costs are charged from the
+// calibrated models, since in the real system they are timer reads and NCCL
+// P2P transfers respectively.
+#pragma once
+
+#include <optional>
+
+#include "balance/diffusion.hpp"
+#include "balance/migration.hpp"
+#include "balance/partition.hpp"
+#include "balance/profile.hpp"
+#include "comm/cost_model.hpp"
+
+namespace dynmo::balance {
+
+enum class Algorithm { Partition, Diffusion };
+
+const char* to_string(Algorithm a);
+
+struct RebalanceConfig {
+  Algorithm algorithm = Algorithm::Diffusion;
+  BalanceBy by = BalanceBy::Time;
+  double mem_capacity = 0.0;  ///< per-worker bytes; <=0 → unconstrained
+  double gamma = 0.0;         ///< diffusion threshold; <=0 → auto
+  /// Per-layer profiling cost charged per rebalance (timer reads + CUDA
+  /// memory stats query), seconds.
+  double profile_cost_per_layer_s = 2e-6;
+  double profile_cost_per_worker_s = 10e-6;
+  /// Hysteresis: keep the current map unless the new one improves the
+  /// projected bottleneck by at least this fraction.  Prevents migration
+  /// churn from chasing profiling noise at every-iteration cadences.
+  double min_bottleneck_gain = 0.02;
+};
+
+struct OverheadBreakdown {
+  double profile_s = 0.0;
+  double decide_s = 0.0;
+  double migrate_s = 0.0;
+  double total_s() const { return profile_s + decide_s + migrate_s; }
+
+  OverheadBreakdown& operator+=(const OverheadBreakdown& o) {
+    profile_s += o.profile_s;
+    decide_s += o.decide_s;
+    migrate_s += o.migrate_s;
+    return *this;
+  }
+};
+
+struct RebalanceOutcome {
+  pipeline::StageMap map;
+  OverheadBreakdown overhead;
+  MigrationPlan migration;
+  double imbalance_before = 0.0;  ///< paper Eq. (2) on stage loads
+  double imbalance_after = 0.0;
+  std::optional<DiffusionResult> diffusion;  ///< set for Algorithm::Diffusion
+};
+
+class Rebalancer {
+ public:
+  Rebalancer(RebalanceConfig cfg, comm::CostModel net)
+      : cfg_(cfg), net_(net) {}
+
+  /// Decide a new stage map from the profile; compute migration plan and
+  /// overheads relative to `current`.
+  RebalanceOutcome rebalance(const LayerProfile& profile,
+                             const pipeline::StageMap& current) const;
+
+  const RebalanceConfig& config() const { return cfg_; }
+
+ private:
+  RebalanceConfig cfg_;
+  comm::CostModel net_;
+};
+
+}  // namespace dynmo::balance

@@ -1,0 +1,99 @@
+// Alpha-beta communication cost model.
+//
+// The simulator charges communication time with the standard postal model
+//   t(bytes) = alpha + bytes / beta
+// with per-link-tier parameters.  Tiers mirror the paper's testbed: NVLink
+// (NVSwitch, intra-node), InfiniBand NDR200 (inter-node), PCIe Gen5 (host
+// staging).  Collective costs use the textbook formulas for the algorithms
+// the Communicator implements (binomial tree, ring, direct exchange).
+#pragma once
+
+#include <cstddef>
+#include <cmath>
+
+namespace dynmo::comm {
+
+/// Link tier between two workers.
+enum class LinkTier { NvLink, InfiniBand, Pcie };
+
+struct LinkParams {
+  double alpha_s;        ///< latency, seconds
+  double beta_bytes_s;   ///< bandwidth, bytes/second
+};
+
+struct CostModelConfig {
+  // H100 SXM5 node: NVLink4 x6 ~ 900 GB/s per GPU pair-aggregate; we model
+  // the per-transfer effective bandwidth (~450e9 unidirectional realistic).
+  LinkParams nvlink{2e-6, 450e9};
+  // 4x 200Gbps NDR200 per node = 100 GB/s node-aggregate; per-GPU-pair
+  // effective ~25 GB/s with ~5 us latency (RDMA).
+  LinkParams infiniband{5e-6, 25e9};
+  LinkParams pcie{4e-6, 55e9};
+  int gpus_per_node = 4;  ///< paper testbed: 4x H100 per node
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostModelConfig cfg = {}) : cfg_(cfg) {}
+
+  const CostModelConfig& config() const { return cfg_; }
+
+  /// Which tier connects two global ranks (same node → NVLink).
+  LinkTier tier(int rank_a, int rank_b) const {
+    return node_of(rank_a) == node_of(rank_b) ? LinkTier::NvLink
+                                              : LinkTier::InfiniBand;
+  }
+
+  int node_of(int rank) const { return rank / cfg_.gpus_per_node; }
+
+  double p2p_time(int rank_a, int rank_b, std::size_t bytes) const {
+    const LinkParams& lp = params(tier(rank_a, rank_b));
+    return lp.alpha_s + static_cast<double>(bytes) / lp.beta_bytes_s;
+  }
+
+  /// Ring allreduce over n ranks: 2(n-1)/n * bytes over the slowest link,
+  /// plus 2(n-1) latency terms.
+  double allreduce_time(int n, std::size_t bytes, bool crosses_nodes) const {
+    if (n <= 1) return 0.0;
+    const LinkParams& lp =
+        params(crosses_nodes ? LinkTier::InfiniBand : LinkTier::NvLink);
+    const double nn = static_cast<double>(n);
+    return 2.0 * (nn - 1.0) * lp.alpha_s +
+           2.0 * (nn - 1.0) / nn * static_cast<double>(bytes) / lp.beta_bytes_s;
+  }
+
+  /// Binomial broadcast: ceil(log2 n) * (alpha + bytes/beta).
+  double broadcast_time(int n, std::size_t bytes, bool crosses_nodes) const {
+    if (n <= 1) return 0.0;
+    const LinkParams& lp =
+        params(crosses_nodes ? LinkTier::InfiniBand : LinkTier::NvLink);
+    const double rounds = std::ceil(std::log2(static_cast<double>(n)));
+    return rounds * (lp.alpha_s + static_cast<double>(bytes) / lp.beta_bytes_s);
+  }
+
+  /// all_to_all over n ranks, each sending `bytes` to everyone (MoE token
+  /// exchange).  Direct exchange: (n-1) messages serialized per NIC.
+  double alltoall_time(int n, std::size_t bytes_per_peer,
+                       bool crosses_nodes) const {
+    if (n <= 1) return 0.0;
+    const LinkParams& lp =
+        params(crosses_nodes ? LinkTier::InfiniBand : LinkTier::NvLink);
+    const double nn = static_cast<double>(n);
+    return (nn - 1.0) *
+           (lp.alpha_s + static_cast<double>(bytes_per_peer) / lp.beta_bytes_s);
+  }
+
+  const LinkParams& params(LinkTier t) const {
+    switch (t) {
+      case LinkTier::NvLink: return cfg_.nvlink;
+      case LinkTier::InfiniBand: return cfg_.infiniband;
+      case LinkTier::Pcie: return cfg_.pcie;
+    }
+    return cfg_.pcie;  // unreachable
+  }
+
+ private:
+  CostModelConfig cfg_;
+};
+
+}  // namespace dynmo::comm

@@ -1,0 +1,56 @@
+#include "comm/mailbox.hpp"
+
+namespace dynmo::comm {
+
+void Mailbox::deliver(Message msg) {
+  {
+    std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::take_locked(int context, int source, Tag tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, context, source, tag)) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Mailbox::recv(int context, int source, Tag tag) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (auto m = take_locked(context, source, tag)) return m;
+    if (closed_) return std::nullopt;
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_recv(int context, int source, Tag tag) {
+  std::scoped_lock lock(mu_);
+  return take_locked(context, source, tag);
+}
+
+std::size_t Mailbox::pending() const {
+  std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+void Mailbox::close() {
+  {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::closed() const {
+  std::scoped_lock lock(mu_);
+  return closed_;
+}
+
+}  // namespace dynmo::comm

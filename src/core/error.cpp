@@ -1,0 +1,14 @@
+#include "core/error.hpp"
+
+namespace dynmo::detail {
+
+void throw_check_failure(const char* expr, const std::string& msg,
+                         std::source_location loc) {
+  std::ostringstream oss;
+  oss << loc.file_name() << ':' << loc.line() << ": check failed: (" << expr
+      << ')';
+  if (!msg.empty()) oss << " — " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace dynmo::detail

@@ -1,0 +1,57 @@
+// Error handling primitives for DynMo.
+//
+// We follow the C++ Core Guidelines: exceptions for errors that cannot be
+// handled locally (E.2), assertions for programming bugs.  DYNMO_CHECK is an
+// always-on precondition check that throws dynmo::Error with file/line
+// context; DYNMO_ASSERT compiles out in release builds.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dynmo {
+
+/// Base exception for all DynMo errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a worker's memory capacity would be exceeded.
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on misuse of the communication layer (bad rank, dead channel...).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const std::string& msg,
+                                      std::source_location loc);
+}  // namespace detail
+
+}  // namespace dynmo
+
+/// Always-on invariant check.  `msg` may use stream syntax:
+///   DYNMO_CHECK(rank < size, "rank " << rank << " out of range");
+#define DYNMO_CHECK(expr, msg)                                             \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream dynmo_check_oss_;                                 \
+      dynmo_check_oss_ << msg; /* NOLINT */                                \
+      ::dynmo::detail::throw_check_failure(#expr, dynmo_check_oss_.str(),  \
+                                           std::source_location::current()); \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define DYNMO_ASSERT(expr, msg) ((void)0)
+#else
+#define DYNMO_ASSERT(expr, msg) DYNMO_CHECK(expr, msg)
+#endif

@@ -1,0 +1,21 @@
+#include "core/log.hpp"
+
+#include <cstdio>
+
+namespace dynmo {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view msg) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                           "WARN", "ERROR", "OFF"};
+  std::scoped_lock lock(mu_);
+  std::fprintf(stderr, "[dynmo %-5s] %.*s\n",
+               kNames[static_cast<int>(level)], static_cast<int>(msg.size()),
+               msg.data());
+}
+
+}  // namespace dynmo

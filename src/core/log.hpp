@@ -1,0 +1,62 @@
+// Minimal leveled logger.  Thread-safe, writes to stderr.
+//
+// Usage:
+//   DYNMO_LOG(Info) << "rebalanced " << n << " layers";
+// The global level defaults to Warn so that library users are not spammed;
+// examples and benches raise it explicitly.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace dynmo {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load()); }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load();
+  }
+
+  void write(LogLevel level, std::string_view msg);
+
+ private:
+  Logger() = default;
+  std::atomic<int> level_{static_cast<int>(LogLevel::Warn)};
+  std::mutex mu_;
+};
+
+namespace detail {
+/// Accumulates one log line and flushes it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, oss_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+}  // namespace dynmo
+
+#define DYNMO_LOG(level)                                        \
+  if (!::dynmo::Logger::instance().enabled(::dynmo::LogLevel::level)) { \
+  } else                                                        \
+    ::dynmo::detail::LogLine(::dynmo::LogLevel::level)

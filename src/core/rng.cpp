@@ -1,0 +1,54 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+
+namespace dynmo {
+
+double Rng::normal() {
+  // Box–Muller; rejects u1 == 0 to avoid log(0).
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  DYNMO_CHECK(n > 0, "zipf over empty support");
+  if (s <= 0.0) return uniform_int(n);
+  // Inverse-CDF by rejection (Devroye).  Fine for the n (<= few thousand
+  // experts/buckets) we use; exactness matters more than speed here.
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    const double u = uniform();
+    const double v = uniform();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<std::uint64_t>(x) - 1;
+    }
+  }
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  DYNMO_CHECK(!weights.empty(), "categorical over empty weights");
+  double total = 0.0;
+  for (double w : weights) total += w;
+  DYNMO_CHECK(total > 0.0, "categorical weights sum to zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace dynmo

@@ -1,0 +1,79 @@
+#include "core/thread_pool.hpp"
+
+#include <atomic>
+
+namespace dynmo {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, workers_.size());
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  std::atomic<std::size_t> remaining{chunks};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  const std::size_t per = (n + chunks - 1) / chunks;
+  {
+    std::scoped_lock lock(mu_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * per;
+      const std::size_t hi = std::min(end, lo + per);
+      tasks_.push([&, lo, hi] {
+        if (lo < hi) fn(lo, hi);
+        // Decrement under the mutex: the waiter holds it while checking
+        // the predicate, so it cannot observe zero and destroy these
+        // stack-resident synchronization objects while we still use them.
+        std::scoped_lock done_lock(done_mu);
+        if (remaining.fetch_sub(1) == 1) done_cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock done_lock(done_mu);
+  done_cv.wait(done_lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace dynmo

@@ -1,0 +1,135 @@
+#include "dynamic/distributed_pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace dynmo::dynamic {
+
+namespace {
+struct Candidate {
+  float magnitude;
+  std::uint32_t local_index;
+  std::int32_t rank;
+};
+}  // namespace
+
+GlobalPruneResult global_magnitude_prune(const comm::Communicator& comm,
+                                         std::span<const float> my_params,
+                                         double sparsity) {
+  DYNMO_CHECK(sparsity >= 0.0 && sparsity < 1.0,
+              "sparsity out of range: " << sparsity);
+  const int rank = comm.rank();
+  const int size = comm.size();
+
+  GlobalPruneResult res;
+  res.local_before = my_params.size();
+
+  // Total parameter count (line 2 of Algorithm 1 needs the global n to
+  // compute k).  One allreduce of a single double.
+  const auto totals =
+      comm.allreduce_sum({static_cast<double>(my_params.size())});
+  const auto total_n = static_cast<std::size_t>(totals[0]);
+  const auto k_global = static_cast<std::size_t>(
+      std::ceil((1.0 - sparsity) * static_cast<double>(total_n)));
+  res.global_kept = std::min(k_global, total_n);
+
+  // Line 3: local top-k candidates.  A global survivor must be in its own
+  // rank's local top-min(local_n, k) set, so this candidate set is exact.
+  const std::size_t local_k = std::min(my_params.size(), res.global_kept);
+  auto local_top = tensor::topk_abs_indices(my_params, local_k);
+
+  if (rank == 0) {
+    // Line 4 (gather via P2P): candidate counts differ per rank and only
+    // the sender knows them, so each rank sends (count, mags, indices).
+    std::vector<Candidate> candidates;
+    candidates.reserve(local_top.size() * static_cast<std::size_t>(size));
+    for (std::uint32_t li : local_top) {
+      candidates.push_back(
+          Candidate{std::abs(my_params[li]), li, 0});
+    }
+    for (int r = 1; r < size; ++r) {
+      const comm::Message m = comm.recv(r, comm::kPruneTag);
+      comm::Unpacker u(m.payload);
+      const auto mags = u.get_vector<float>();
+      const auto idxs = u.get_vector<std::uint32_t>();
+      DYNMO_CHECK(mags.size() == idxs.size(), "candidate shape mismatch");
+      for (std::size_t i = 0; i < mags.size(); ++i) {
+        candidates.push_back(Candidate{mags[i], idxs[i], r});
+      }
+    }
+
+    // Line 6: global top-k among candidates.
+    const std::size_t kk = std::min(res.global_kept, candidates.size());
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + static_cast<std::ptrdiff_t>(kk),
+                     candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       if (a.magnitude != b.magnitude) {
+                         return a.magnitude > b.magnitude;
+                       }
+                       // Deterministic tie-break so the distributed result
+                       // is reproducible regardless of arrival order.
+                       return std::tie(a.rank, a.local_index) <
+                              std::tie(b.rank, b.local_index);
+                     });
+    candidates.resize(kk);
+    res.threshold = kk ? candidates.back().magnitude : 0.0;
+    double min_mag = res.threshold;
+    for (const auto& c : candidates) {
+      min_mag = std::min(min_mag, static_cast<double>(c.magnitude));
+    }
+    res.threshold = min_mag;
+
+    // Line 8 (scatter via P2P): per-rank keep lists have different sizes.
+    std::vector<std::vector<std::uint32_t>> per_rank(
+        static_cast<std::size_t>(size));
+    for (const auto& c : candidates) {
+      per_rank[static_cast<std::size_t>(c.rank)].push_back(c.local_index);
+    }
+    for (int r = 1; r < size; ++r) {
+      comm::Packer p;
+      p.put_vector(per_rank[static_cast<std::size_t>(r)]);
+      comm.send(r, comm::kPruneTag, p.take());
+    }
+    res.keep_indices = std::move(per_rank[0]);
+  } else {
+    comm::Packer p;
+    std::vector<float> mags;
+    mags.reserve(local_top.size());
+    for (std::uint32_t li : local_top) mags.push_back(std::abs(my_params[li]));
+    p.put_vector(mags);
+    p.put_vector(local_top);
+    comm.send(0, comm::kPruneTag, p.take());
+
+    res.keep_indices = comm.recv_vector<std::uint32_t>(0, comm::kPruneTag);
+  }
+
+  // Broadcast the threshold so every rank can report it.
+  {
+    comm::Packer p;
+    p.put(res.threshold);
+    auto bytes = comm.broadcast(p.take(), 0);
+    comm::Unpacker u(bytes);
+    res.threshold = u.get<double>();
+  }
+
+  std::sort(res.keep_indices.begin(), res.keep_indices.end());
+  return res;
+}
+
+void apply_prune_mask(std::span<float> params,
+                      std::span<const std::uint32_t> keep_indices) {
+  std::vector<bool> keep(params.size(), false);
+  for (std::uint32_t i : keep_indices) {
+    DYNMO_CHECK(i < params.size(), "keep index out of range");
+    keep[i] = true;
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!keep[i]) params[i] = 0.0f;
+  }
+}
+
+}  // namespace dynmo::dynamic

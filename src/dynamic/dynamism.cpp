@@ -1,0 +1,23 @@
+#include "dynamic/dynamism.hpp"
+
+#include <algorithm>
+
+namespace dynmo::dynamic {
+
+double DynamismEngine::compute_fraction(
+    std::span<const model::LayerState> states) const {
+  if (states.empty()) return 1.0;
+  // First-order estimate: forward work scales with token_fraction ×
+  // weight_density × (attn share folded into density already); backward
+  // (2/3 of total) vanishes when frozen.
+  double acc = 0.0;
+  for (const auto& s : states) {
+    const double fwd = std::clamp(s.token_fraction, 0.0, 1.0) *
+                       std::clamp(s.weight_density, 0.0, 1.0);
+    const double bwd = s.frozen ? 0.0 : 2.0 * fwd;
+    acc += (fwd + bwd) / 3.0;
+  }
+  return acc / static_cast<double>(states.size());
+}
+
+}  // namespace dynmo::dynamic

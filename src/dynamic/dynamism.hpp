@@ -1,0 +1,51 @@
+// Common interface for the six dynamism engines (paper §2, §4.2).
+//
+// A DynamismEngine owns the *cause* of workload change: at each iteration it
+// rewrites the per-layer LayerState vector (densities, frozen flags, token
+// fractions, routing loads).  DynMo itself never inspects the engine — it
+// only sees the resulting measured loads, which is the paper's black-box
+// contract (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "model/layer.hpp"
+#include "pipeline/cost_builder.hpp"
+
+namespace dynmo::dynamic {
+
+class DynamismEngine {
+ public:
+  virtual ~DynamismEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Does the model / control flow change at this iteration?  (DynMo
+  /// rebalances blindly on a fixed interval; this hook exists for analysis
+  /// and for tests.)
+  virtual bool is_dynamism_point(std::int64_t iter) const = 0;
+
+  /// Mutate the per-layer dynamic state for iteration `iter`.
+  virtual void step(std::int64_t iter,
+                    std::span<model::LayerState> states) = 0;
+
+  /// Intra-iteration fluctuation: optional per-(layer, microbatch) scale.
+  /// MoE/MoD routing differs per microbatch; most engines return {}.
+  virtual pipeline::MicrobatchScaleFn microbatch_scale(std::int64_t iter) {
+    (void)iter;
+    return {};
+  }
+
+  /// The rebalance cadence the paper uses for this scheme (iterations).
+  virtual std::int64_t recommended_rebalance_interval() const = 0;
+
+  /// Fraction of the static model's compute the current state performs
+  /// (for reporting compute savings); 1.0 = no reduction.
+  virtual double compute_fraction(
+      std::span<const model::LayerState> states) const;
+};
+
+}  // namespace dynmo::dynamic

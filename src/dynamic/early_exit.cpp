@@ -1,0 +1,88 @@
+#include "dynamic/early_exit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace dynmo::dynamic {
+
+EarlyExitEngine::EarlyExitEngine(const model::ModelDesc& model,
+                                 EarlyExitEngineConfig cfg)
+    : model_(&model), cfg_(cfg) {
+  DYNMO_CHECK(cfg.final_tail_survival > 0.0 && cfg.final_tail_survival <= 1.0,
+              "tail survival out of range");
+  bool seen_block = false;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    const auto kind = model.layers[l].kind;
+    if (kind == model::LayerKind::TransformerBlock ||
+        kind == model::LayerKind::MoeTransformerBlock) {
+      if (!seen_block) {
+        first_block_ = l;
+        seen_block = true;
+      }
+      ++num_blocks_;
+    }
+  }
+  DYNMO_CHECK(num_blocks_ > 0, "early exit needs transformer blocks");
+}
+
+double EarlyExitEngine::survival(std::size_t layer, std::int64_t iter) const {
+  DYNMO_CHECK(layer < model_->num_layers(), "layer out of range");
+  const auto kind = model_->layers[layer].kind;
+  // Embedding sees every token; the LM head is paid once per token at its
+  // exit point (CALM measures confidence through the same head), so its
+  // total work does not shrink with early exit either.
+  if (kind == model::LayerKind::Embedding ||
+      kind == model::LayerKind::LmHead) {
+    return 1.0;
+  }
+
+  const double depth_blocks = static_cast<double>(layer - first_block_);
+  const double start = static_cast<double>(
+      std::min(cfg_.exit_start_blocks, num_blocks_ - 1));
+  if (depth_blocks < start) return 1.0;
+
+  // Confidence ramp: early in training nothing exits; by the end of the
+  // ramp the tail survival reaches its configured floor.
+  const double maturity = std::clamp(
+      static_cast<double>(iter) /
+          static_cast<double>(std::max<std::int64_t>(1,
+                                                     cfg_.confidence_ramp_iters)),
+      0.0, 1.0);
+  const double tail_now =
+      1.0 + (cfg_.final_tail_survival - 1.0) * maturity;  // 1 → final
+  // Geometric decay from 1.0 at the first exit block to tail_now at the
+  // last block.
+  const double span =
+      std::max(1.0, static_cast<double>(num_blocks_ - 1) - start);
+  const double t = std::clamp((depth_blocks - start) / span, 0.0, 1.0);
+  double s = std::pow(tail_now, t);
+
+  // Per-iteration confidence jitter (batch composition varies).
+  Rng rng(hash_mix(cfg_.seed ^ 0xee17, layer,
+                   static_cast<std::uint64_t>(iter)));
+  s *= std::exp(rng.normal(0.0, cfg_.survival_jitter));
+  return std::clamp(s, cfg_.final_tail_survival * 0.5, 1.0);
+}
+
+void EarlyExitEngine::step(std::int64_t iter,
+                           std::span<model::LayerState> states) {
+  DYNMO_CHECK(states.size() == model_->num_layers(), "state size mismatch");
+  // Enforce monotone survival down the block depth (tokens never
+  // re-enter); embedding / LM head are exempt (see survival()).
+  double floor = 1.0;
+  for (std::size_t l = 0; l < states.size(); ++l) {
+    const auto kind = model_->layers[l].kind;
+    double s = survival(l, iter);
+    if (kind == model::LayerKind::TransformerBlock ||
+        kind == model::LayerKind::MoeTransformerBlock) {
+      s = std::min(s, floor);
+      floor = s;
+    }
+    states[l].token_fraction = s;
+  }
+}
+
+}  // namespace dynmo::dynamic

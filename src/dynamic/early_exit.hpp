@@ -1,0 +1,58 @@
+// Early-exit engine (paper §2.5, §4.2.5) — CALM / ADP-C style.
+//
+// Tokens exit once their per-layer confidence clears a threshold.  The
+// engine simulates the token survival curve: no exits before the first exit
+// layer, then geometric-ish decay whose rate *sharpens over training* (a
+// model early in training is rarely confident; late in training most tokens
+// exit early — this is why the paper rebalances every ~100 iterations and
+// why re-packing helps most here, §4.2.5).
+#pragma once
+
+#include <vector>
+
+#include "dynamic/dynamism.hpp"
+
+namespace dynmo::dynamic {
+
+struct EarlyExitEngineConfig {
+  /// Blocks before any token may exit.  CALM/ADP-C exit from the very
+  /// first blocks; confidence emerges after a roughly fixed number of
+  /// blocks regardless of model depth, which is why deeper models save
+  /// relatively more — the paper's speedup grows from 2.39x (24L) to
+  /// 4.83x (48L).
+  std::size_t exit_start_blocks = 2;
+  /// Steady-state survival at the last block once training matures.
+  double final_tail_survival = 0.02;
+  /// Iterations over which confidence (hence exit aggressiveness) ramps.
+  std::int64_t confidence_ramp_iters = 2000;
+  /// Per-iteration noise on per-layer survival.
+  double survival_jitter = 0.05;
+  std::int64_t rebalance_interval = 100;
+  std::uint64_t seed = 0x5eed;
+};
+
+class EarlyExitEngine final : public DynamismEngine {
+ public:
+  EarlyExitEngine(const model::ModelDesc& model, EarlyExitEngineConfig cfg);
+
+  std::string name() const override { return "early_exit"; }
+  bool is_dynamism_point(std::int64_t iter) const override {
+    return iter % cfg_.rebalance_interval == 0;
+  }
+  void step(std::int64_t iter, std::span<model::LayerState> states) override;
+  std::int64_t recommended_rebalance_interval() const override {
+    return cfg_.rebalance_interval;
+  }
+
+  /// Fraction of tokens still alive entering layer `layer` at `iter`
+  /// (monotone non-increasing in depth).
+  double survival(std::size_t layer, std::int64_t iter) const;
+
+ private:
+  const model::ModelDesc* model_;
+  EarlyExitEngineConfig cfg_;
+  std::size_t first_block_ = 0;   ///< model index of the first block
+  std::size_t num_blocks_ = 0;
+};
+
+}  // namespace dynmo::dynamic

@@ -1,0 +1,80 @@
+#include "dynamic/mod.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace dynmo::dynamic {
+
+ModEngine::ModEngine(const model::ModelDesc& model, ModEngineConfig cfg)
+    : model_(&model), cfg_(cfg) {
+  DYNMO_CHECK(cfg.capacity > 0.0 && cfg.capacity <= 1.0,
+              "capacity out of range");
+  DYNMO_CHECK(cfg.route_every >= 1, "route_every must be >= 1");
+}
+
+bool ModEngine::is_mod_block(std::size_t layer) const {
+  const auto& d = model_->layers[layer];
+  if (d.kind != model::LayerKind::TransformerBlock &&
+      d.kind != model::LayerKind::MoeTransformerBlock) {
+    return false;
+  }
+  // Count block index among blocks only; every `route_every`-th block
+  // routes (Raposo et al. interleave full and MoD blocks).
+  std::size_t block_idx = 0;
+  for (std::size_t l = 0; l < layer; ++l) {
+    const auto k = model_->layers[l].kind;
+    if (k == model::LayerKind::TransformerBlock ||
+        k == model::LayerKind::MoeTransformerBlock) {
+      ++block_idx;
+    }
+  }
+  return block_idx % static_cast<std::size_t>(cfg_.route_every) ==
+         static_cast<std::size_t>(cfg_.route_every) - 1;
+}
+
+double ModEngine::routed_fraction(std::size_t layer, std::int64_t iter) const {
+  if (!is_mod_block(layer)) return 1.0;
+  // Predictor misestimation is *systematic*: the auxiliary MLP carries a
+  // per-layer bias that drifts as the predictor (and the data) evolve over
+  // tens of iterations; a small white-noise term sits on top.  This is why
+  // every-iteration rebalancing pays off — the bias persists long enough
+  // to exploit, while a static placement is wrong for the whole window.
+  Rng per_layer(hash_mix(cfg_.seed ^ 0xcaf, layer, 0));
+  Rng slow(hash_mix(cfg_.seed ^ 0x30d, layer,
+                    static_cast<std::uint64_t>(iter / 100)));
+  Rng fast(hash_mix(cfg_.seed ^ 0xfa57, layer,
+                    static_cast<std::uint64_t>(iter)));
+  const double layer_capacity =
+      cfg_.capacity *
+      std::exp(per_layer.normal(0.0, cfg_.layer_capacity_spread));
+  const double bias = std::exp(slow.normal(0.0, cfg_.predictor_noise));
+  const double skew = std::exp(slow.normal(0.0, cfg_.expert_skew));
+  const double noise = std::exp(fast.normal(0.0, 0.25 * cfg_.predictor_noise));
+  return std::clamp(layer_capacity * bias * skew * noise, 0.05, 1.0);
+}
+
+void ModEngine::step(std::int64_t iter,
+                     std::span<model::LayerState> states) {
+  DYNMO_CHECK(states.size() == model_->num_layers(), "state size mismatch");
+  for (std::size_t l = 0; l < states.size(); ++l) {
+    states[l].token_fraction = routed_fraction(l, iter);
+  }
+  cached_iter_ = iter;
+}
+
+pipeline::MicrobatchScaleFn ModEngine::microbatch_scale(std::int64_t iter) {
+  DYNMO_CHECK(iter == cached_iter_, "call step() before microbatch_scale()");
+  const std::uint64_t seed = cfg_.seed;
+  const double noise = cfg_.predictor_noise * 0.5;
+  const auto it = static_cast<std::uint64_t>(iter);
+  return [seed, noise, it](std::size_t layer, int mb) -> double {
+    Rng rng(hash_mix(seed ^ 0x30dbULL, layer, it * 977 +
+                         static_cast<std::uint64_t>(mb)));
+    return std::exp(rng.normal(0.0, noise));
+  };
+}
+
+}  // namespace dynmo::dynamic

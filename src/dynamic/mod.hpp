@@ -1,0 +1,61 @@
+// Mixture-of-Depths engine (paper §2.6, §4.2.6).
+//
+// MoD routes each token around entire blocks: an auxiliary MLP predictor
+// guesses whether the token will be in the block's top-k set; only routed
+// tokens pay the block's attention+MLP cost.  Imbalance comes from
+// (a) the predictor's misestimation of the true top-k membership during
+// causal generation ("lacks information about future tokens"), and
+// (b) skew in the expert-choice MoE the MoD sits on top of.
+// The paper observes ~18% pipeline imbalance, rebalanced every iteration in
+// the backward pass.
+#pragma once
+
+#include "dynamic/dynamism.hpp"
+
+namespace dynmo::dynamic {
+
+struct ModEngineConfig {
+  double capacity = 0.5;          ///< mean top-k fraction routed per block
+  /// The learned routers develop *different* routing intensities per block
+  /// (deep blocks shed more tokens than early ones); per-layer capacity is
+  /// capacity·lognormal(0, spread), persistent across training.  This
+  /// heterogeneity — not the alternation itself — is what layer-level
+  /// rebalancing exploits (a strict 1,c,1,c cost pattern is provably
+  /// unbalanceable by contiguous whole-layer moves).
+  double layer_capacity_spread = 0.5;
+  int route_every = 2;            ///< every N-th block is a MoD block
+  /// Predictor quality: stddev of the routed-fraction misestimate; the MLP
+  /// over- or under-admits tokens relative to the true top-k (it "lacks
+  /// information about future tokens", §2.6).  Calibrated so the static
+  /// pipeline shows the paper's ~18% routing imbalance.
+  double predictor_noise = 0.35;
+  /// Residual expert-choice skew from the underlying MoE.
+  double expert_skew = 0.15;
+  std::uint64_t seed = 0x5eed;
+};
+
+class ModEngine final : public DynamismEngine {
+ public:
+  ModEngine(const model::ModelDesc& model, ModEngineConfig cfg);
+
+  std::string name() const override { return "mixture_of_depths"; }
+  bool is_dynamism_point(std::int64_t iter) const override {
+    (void)iter;
+    return true;  // routing decisions change every forward pass
+  }
+  void step(std::int64_t iter, std::span<model::LayerState> states) override;
+  pipeline::MicrobatchScaleFn microbatch_scale(std::int64_t iter) override;
+  std::int64_t recommended_rebalance_interval() const override { return 1; }
+
+  bool is_mod_block(std::size_t layer) const;
+  /// Fraction of tokens actually routed through `layer` at `iter`
+  /// (capacity × predictor misestimate); 1.0 for non-MoD layers.
+  double routed_fraction(std::size_t layer, std::int64_t iter) const;
+
+ private:
+  const model::ModelDesc* model_;
+  ModEngineConfig cfg_;
+  std::int64_t cached_iter_ = -1;
+};
+
+}  // namespace dynmo::dynamic

@@ -1,0 +1,56 @@
+#include "dynmo/dynmo.hpp"
+
+#include "core/error.hpp"
+
+namespace dynmo {
+
+const char* to_string(UseCase c) {
+  switch (c) {
+    case UseCase::Static: return "static";
+    case UseCase::Moe: return "moe";
+    case UseCase::GradualPruning: return "gradual_pruning";
+    case UseCase::LayerFreezing: return "layer_freezing";
+    case UseCase::SparseAttention: return "sparse_attention";
+    case UseCase::EarlyExit: return "early_exit";
+    case UseCase::MixtureOfDepths: return "mixture_of_depths";
+  }
+  return "?";
+}
+
+std::unique_ptr<dynamic::DynamismEngine> make_engine(
+    UseCase use_case, const model::ModelDesc& model, const Options& opt) {
+  switch (use_case) {
+    case UseCase::Static:
+      return nullptr;
+    case UseCase::Moe: {
+      auto cfg = opt.moe;
+      cfg.num_microbatches = opt.session.num_microbatches;
+      return std::make_unique<dynamic::MoeEngine>(model, cfg);
+    }
+    case UseCase::GradualPruning:
+      return std::make_unique<dynamic::PruningEngine>(model, opt.pruning);
+    case UseCase::LayerFreezing:
+      return std::make_unique<dynamic::FreezingEngine>(model, opt.freezing);
+    case UseCase::SparseAttention:
+      return std::make_unique<dynamic::SparseAttnEngine>(model,
+                                                         opt.sparse_attn);
+    case UseCase::EarlyExit:
+      return std::make_unique<dynamic::EarlyExitEngine>(model,
+                                                        opt.early_exit);
+    case UseCase::MixtureOfDepths:
+      return std::make_unique<dynamic::ModEngine>(model, opt.mod);
+  }
+  return nullptr;
+}
+
+Session::Session(model::ModelDesc model, UseCase use_case, Options opt)
+    : model_(std::move(model)), use_case_(use_case), opt_(std::move(opt)) {
+  engine_ = make_engine(use_case_, model_, opt_);
+}
+
+runtime::SessionResult Session::run() {
+  runtime::TrainingSession session(model_, opt_.session, engine_.get());
+  return session.run();
+}
+
+}  // namespace dynmo

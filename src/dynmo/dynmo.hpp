@@ -1,0 +1,80 @@
+// DynMo public API facade.
+//
+// One-stop entry point: pick a model, a dynamism use-case, and (optionally)
+// override the out-of-the-box defaults — DynMo runs the full train →
+// dynamism → profile → balance → re-pack loop and reports throughput,
+// idleness, overheads, and GPU usage.
+//
+//   dynmo::Options opt;
+//   opt.pipeline_stages = 8;
+//   auto model = dynmo::model::make_gpt({.num_blocks = 24});
+//   dynmo::Session session(model, dynmo::UseCase::EarlyExit, opt);
+//   auto result = session.run();
+//
+// Everything the facade does is available piecemeal through the subsystem
+// headers (balance/, dynamic/, pipeline/, repack/, runtime/) for users who
+// need custom engines or schedules.
+#pragma once
+
+#include <memory>
+
+#include "dynamic/dynamism.hpp"
+#include "dynamic/early_exit.hpp"
+#include "dynamic/freezing.hpp"
+#include "dynamic/mod.hpp"
+#include "dynamic/moe.hpp"
+#include "dynamic/pruning.hpp"
+#include "dynamic/sparse_attn.hpp"
+#include "model/layer.hpp"
+#include "runtime/session.hpp"
+
+namespace dynmo {
+
+/// The six dynamic-model scenarios of the paper, plus a static control.
+enum class UseCase {
+  Static,
+  Moe,
+  GradualPruning,
+  LayerFreezing,
+  SparseAttention,
+  EarlyExit,
+  MixtureOfDepths,
+};
+
+const char* to_string(UseCase c);
+
+struct Options {
+  runtime::SessionConfig session{};
+
+  // Per-use-case engine knobs; defaults follow the paper's setups.
+  dynamic::MoeEngineConfig moe{};
+  dynamic::PruningEngineConfig pruning{};
+  dynamic::FreezingEngineConfig freezing{};
+  dynamic::SparseAttnEngineConfig sparse_attn{};
+  dynamic::EarlyExitEngineConfig early_exit{};
+  dynamic::ModEngineConfig mod{};
+};
+
+/// Build the dynamism engine for a use case (nullptr for Static).
+std::unique_ptr<dynamic::DynamismEngine> make_engine(
+    UseCase use_case, const model::ModelDesc& model, const Options& opt);
+
+/// Facade over runtime::TrainingSession with engine lifetime management.
+class Session {
+ public:
+  Session(model::ModelDesc model, UseCase use_case, Options opt = {});
+
+  runtime::SessionResult run();
+
+  const model::ModelDesc& model() const { return model_; }
+  UseCase use_case() const { return use_case_; }
+  Options& options() { return opt_; }
+
+ private:
+  model::ModelDesc model_;
+  UseCase use_case_;
+  Options opt_;
+  std::unique_ptr<dynamic::DynamismEngine> engine_;
+};
+
+}  // namespace dynmo

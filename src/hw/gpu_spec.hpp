@@ -1,0 +1,49 @@
+// GPU hardware descriptions used by the analytic cost models.
+//
+// These stand in for the paper's H100 SXM5 testbed.  Only *relative*
+// per-layer costs matter for load balancing, but we keep the absolute
+// numbers close to the datasheet so that tokens/sec magnitudes in the
+// benches land in a plausible range.
+#pragma once
+
+#include <string>
+
+#include "core/units.hpp"
+
+namespace dynmo::hw {
+
+struct GpuSpec {
+  std::string name;
+  double peak_flops_bf16;   ///< dense bf16/fp16 tensor-core peak, FLOP/s
+  double mem_bandwidth;     ///< HBM bandwidth, bytes/s
+  double mem_capacity;      ///< usable device memory, bytes
+  double gemm_efficiency;   ///< achievable fraction of peak for large GEMM
+  double attn_efficiency;   ///< achievable fraction for FlashAttention
+  double kernel_launch_s;   ///< fixed per-kernel overhead, seconds
+
+  static GpuSpec h100_sxm5() {
+    return GpuSpec{
+        .name = "H100-SXM5-80GB",
+        .peak_flops_bf16 = 989.0 * TFLOPS,
+        .mem_bandwidth = 3.35e12,
+        .mem_capacity = 80.0 * GB,
+        .gemm_efficiency = 0.62,
+        .attn_efficiency = 0.45,
+        .kernel_launch_s = 4e-6,
+    };
+  }
+
+  static GpuSpec a100_sxm4() {
+    return GpuSpec{
+        .name = "A100-SXM4-80GB",
+        .peak_flops_bf16 = 312.0 * TFLOPS,
+        .mem_bandwidth = 2.0e12,
+        .mem_capacity = 80.0 * GB,
+        .gemm_efficiency = 0.58,
+        .attn_efficiency = 0.40,
+        .kernel_launch_s = 4e-6,
+    };
+  }
+};
+
+}  // namespace dynmo::hw

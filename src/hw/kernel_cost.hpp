@@ -1,0 +1,127 @@
+// Analytic kernel cost models (roofline-style).
+//
+// Every model returns seconds for one kernel invocation on one GPU.  The
+// pipeline simulator sums these per layer per microbatch.  The SpMM model
+// encodes the Sputnik / cuSPARSE / cuBLAS crossover structure the paper
+// relies on for gradual pruning (§4.2.2): Sputnik overtakes dense GEMM at
+// ~75% sparsity; cuSPARSE only pays off at extreme (>99%) sparsity.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "hw/gpu_spec.hpp"
+
+namespace dynmo::hw {
+
+/// Which SpMM backend executes a sparse matmul.
+enum class SpmmBackend { DenseCublas, Sputnik, Cusparse };
+
+class KernelCostModel {
+ public:
+  explicit KernelCostModel(GpuSpec spec = GpuSpec::h100_sxm5())
+      : spec_(spec) {}
+
+  const GpuSpec& spec() const { return spec_; }
+
+  /// Dense GEMM C[m,n] = A[m,k] * B[k,n] in bf16.
+  double gemm(std::size_t m, std::size_t n, std::size_t k) const {
+    const double flops = 2.0 * static_cast<double>(m) *
+                         static_cast<double>(n) * static_cast<double>(k);
+    const double bytes =
+        2.0 * (static_cast<double>(m) * static_cast<double>(k) +
+               static_cast<double>(k) * static_cast<double>(n) +
+               static_cast<double>(m) * static_cast<double>(n));
+    return roofline(flops, bytes, spec_.gemm_efficiency);
+  }
+
+  /// FlashAttention forward for one layer: batch b, heads h, sequence s,
+  /// head dim d, causal.  `density` in (0,1] scales the touched fraction of
+  /// the attention matrix (1.0 = dense causal; block-sparse LSH masks give
+  /// density < causal's 0.5).
+  double flash_attention(std::size_t b, std::size_t h, std::size_t s,
+                         std::size_t d, double density = 1.0) const {
+    // Causal dense touches half the s*s matrix; density is relative to the
+    // *full* matrix, so dense causal corresponds to density 0.5.
+    const double flops = 4.0 * static_cast<double>(b) *
+                         static_cast<double>(h) * static_cast<double>(s) *
+                         static_cast<double>(s) * static_cast<double>(d) *
+                         std::clamp(density, 0.0, 1.0);
+    const double bytes = 2.0 * static_cast<double>(b) *
+                         static_cast<double>(h) * static_cast<double>(s) *
+                         static_cast<double>(d) * 4.0;
+    return roofline(flops, bytes, spec_.attn_efficiency);
+  }
+
+  /// SpMM with `density` = fraction of nonzero weights, on a given backend.
+  /// m,n,k as in gemm; the weight matrix (k x n) is the sparse operand.
+  double spmm(std::size_t m, std::size_t n, std::size_t k, double density,
+              SpmmBackend backend) const {
+    const double dense_flops = 2.0 * static_cast<double>(m) *
+                               static_cast<double>(n) *
+                               static_cast<double>(k);
+    const double eff_flops = dense_flops * std::clamp(density, 0.0, 1.0);
+    switch (backend) {
+      case SpmmBackend::DenseCublas:
+        return gemm(m, n, k);  // sparsity ignored: dense kernels
+      case SpmmBackend::Sputnik: {
+        // Sputnik sustains ~kSputnikRelEff of dense tensor-core throughput
+        // on its useful FLOPs, so it beats dense when density < kSputnikRelEff
+        // (i.e. sparsity > 75%), matching the paper's observation.
+        const double bytes = csr_bytes(n, k, density) +
+                             2.0 * static_cast<double>(m) *
+                                 (static_cast<double>(k) +
+                                  static_cast<double>(n));
+        return roofline(eff_flops, bytes,
+                        spec_.gemm_efficiency * kSputnikRelEff);
+      }
+      case SpmmBackend::Cusparse: {
+        const double bytes = csr_bytes(n, k, density) +
+                             2.0 * static_cast<double>(m) *
+                                 (static_cast<double>(k) +
+                                  static_cast<double>(n));
+        return roofline(eff_flops, bytes,
+                        spec_.gemm_efficiency * kCusparseRelEff);
+      }
+    }
+    return gemm(m, n, k);  // unreachable
+  }
+
+  /// Cheapest backend for the given shape/density (what DynMo's pruning
+  /// integration selects: Sputnik past ~75% sparsity, dense below).
+  SpmmBackend best_spmm_backend(std::size_t m, std::size_t n, std::size_t k,
+                                double density) const {
+    const double dense = spmm(m, n, k, density, SpmmBackend::DenseCublas);
+    const double sput = spmm(m, n, k, density, SpmmBackend::Sputnik);
+    const double cusp = spmm(m, n, k, density, SpmmBackend::Cusparse);
+    if (sput <= dense && sput <= cusp) return SpmmBackend::Sputnik;
+    if (cusp < dense) return SpmmBackend::Cusparse;
+    return SpmmBackend::DenseCublas;
+  }
+
+  /// Elementwise/reduction kernel (layernorm, residual add, softmax tail):
+  /// bandwidth-bound.
+  double memory_bound(double bytes) const {
+    return spec_.kernel_launch_s + bytes / spec_.mem_bandwidth;
+  }
+
+  static constexpr double kSputnikRelEff = 0.25;   ///< vs dense tensor cores
+  static constexpr double kCusparseRelEff = 0.02;  ///< HPC-tuned, poor for DL
+
+ private:
+  static double csr_bytes(std::size_t n, std::size_t k, double density) {
+    const double nnz = density * static_cast<double>(n) *
+                       static_cast<double>(k);
+    return nnz * (2.0 + 4.0) + static_cast<double>(k) * 4.0;  // val+col+rowptr
+  }
+
+  double roofline(double flops, double bytes, double efficiency) const {
+    const double compute_s = flops / (spec_.peak_flops_bf16 * efficiency);
+    const double memory_s = bytes / spec_.mem_bandwidth;
+    return spec_.kernel_launch_s + std::max(compute_s, memory_s);
+  }
+
+  GpuSpec spec_;
+};
+
+}  // namespace dynmo::hw

@@ -1,0 +1,49 @@
+// Per-layer training memory footprint model (mixed-precision Adam).
+//
+// Matches the standard accounting used when sizing pipeline stages:
+//   weights (bf16) + grads (bf16) + optimizer states (fp32 m, v, master) = 16 B/param
+// plus activation working set proportional to in-flight microbatches.
+// The re-packing algorithm (paper Alg. 2) uses these numbers as the
+// `mem_usage` input and the GPU capacity as MAX_MEM.
+#pragma once
+
+#include <cstddef>
+
+namespace dynmo::hw {
+
+struct MemoryModelConfig {
+  double bytes_per_param = 16.0;       ///< bf16 w+g + fp32 m/v/master
+  double bytes_per_param_frozen = 2.0; ///< frozen layers keep only weights
+  double activation_bytes_per_token_per_hidden = 2.0 * 18.0;
+  ///< bf16, ~18 activation tensors per transformer block retained for bwd
+};
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(MemoryModelConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Bytes held by one layer's parameters + optimizer state.
+  double layer_state_bytes(std::size_t params, bool frozen = false,
+                           double density = 1.0) const {
+    const double per = frozen ? cfg_.bytes_per_param_frozen
+                              : cfg_.bytes_per_param;
+    // CSR keeps ~6 B/nnz of index overhead on top of the value bytes.
+    const double index_overhead = (density < 1.0) ? 6.0 * density : 0.0;
+    return static_cast<double>(params) * (per * density + index_overhead);
+  }
+
+  /// Activation bytes one microbatch leaves resident on a stage per layer.
+  double activation_bytes(std::size_t micro_batch, std::size_t seq_len,
+                          std::size_t hidden) const {
+    return static_cast<double>(micro_batch) * static_cast<double>(seq_len) *
+           static_cast<double>(hidden) *
+           cfg_.activation_bytes_per_token_per_hidden;
+  }
+
+  const MemoryModelConfig& config() const { return cfg_; }
+
+ private:
+  MemoryModelConfig cfg_;
+};
+
+}  // namespace dynmo::hw

@@ -1,0 +1,123 @@
+#include "model/layer_cost.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace dynmo::model {
+
+namespace {
+// Backward FLOPs of a linear layer ≈ 2x forward (dgrad + wgrad), split
+// roughly evenly between the two.
+constexpr double kDgradFactor = 1.0;
+constexpr double kWgradFactor = 1.0;
+}  // namespace
+
+double LayerCostModel::block_forward_s(const LayerDesc& l, const LayerState& s,
+                                       std::size_t mb) const {
+  const std::size_t tokens_full = mb * l.seq_len;
+  const double tf = std::clamp(s.token_fraction, 0.0, 1.0);
+  const auto tokens =
+      static_cast<std::size_t>(std::max(1.0, tf * static_cast<double>(tokens_full)));
+
+  const std::size_t h = l.hidden;
+  const std::size_t d_head = l.heads ? h / l.heads : h;
+
+  // Attention: QKV projection, score/value matmuls (flash), output proj.
+  // Unstructured pruning sparsifies *all* linear weights, so the QKV and
+  // output projections run on the sparse backend too.
+  const double qkv =
+      kernels_.spmm(tokens, 3 * h, h, s.weight_density, s.spmm_backend);
+  const double attn = kernels_.flash_attention(
+      mb, l.heads, static_cast<std::size_t>(
+                       std::max(1.0, tf * static_cast<double>(l.seq_len))),
+      d_head, s.attn_density);
+  const double proj =
+      kernels_.spmm(tokens, h, h, s.weight_density, s.spmm_backend);
+
+  // FFN: two (possibly sparse) GEMMs; for MoE blocks the routed token count
+  // per hosted expert set is scaled by the routing load factor.
+  double ffn = 0.0;
+  if (l.kind == LayerKind::MoeTransformerBlock) {
+    const double routed =
+        static_cast<double>(tokens) * static_cast<double>(l.top_k) *
+        std::max(0.0, s.moe_load);
+    const auto t = static_cast<std::size_t>(std::max(1.0, routed));
+    ffn = kernels_.spmm(t, l.ffn_hidden, h, s.weight_density, s.spmm_backend) +
+          kernels_.spmm(t, h, l.ffn_hidden, s.weight_density, s.spmm_backend);
+    // Router projection: tokens x experts.
+    ffn += kernels_.gemm(tokens, l.num_experts, h);
+  } else {
+    ffn = kernels_.spmm(tokens, l.ffn_hidden, h, s.weight_density,
+                        s.spmm_backend) +
+          kernels_.spmm(tokens, h, l.ffn_hidden, s.weight_density,
+                        s.spmm_backend);
+  }
+
+  // Norms, residuals, softmax tails: bandwidth-bound.
+  const double elementwise = kernels_.memory_bound(
+      8.0 * static_cast<double>(tokens) * static_cast<double>(h) * 2.0);
+
+  return (qkv + attn + proj + ffn + elementwise) *
+         std::max(0.0, s.compute_scale);
+}
+
+LayerTimes LayerCostModel::layer_times(const LayerDesc& layer,
+                                       const LayerState& state,
+                                       std::size_t micro_batch) const {
+  DYNMO_CHECK(micro_batch > 0, "micro batch must be positive");
+  LayerTimes t;
+  const std::size_t tokens_full = micro_batch * layer.seq_len;
+  const double tf = std::clamp(state.token_fraction, 0.0, 1.0);
+  const auto tokens = static_cast<std::size_t>(
+      std::max(1.0, tf * static_cast<double>(tokens_full)));
+
+  switch (layer.kind) {
+    case LayerKind::Embedding: {
+      // Lookup + positional add: bandwidth bound.
+      t.forward_s = kernels_.memory_bound(
+          static_cast<double>(tokens) * static_cast<double>(layer.hidden) * 2.0 * 2.0);
+      t.backward_input_s = 0.0;  // nothing upstream
+      t.backward_weight_s = state.frozen ? 0.0 : t.forward_s;
+      break;
+    }
+    case LayerKind::LmHead: {
+      t.forward_s = kernels_.gemm(tokens, layer.vocab, layer.hidden);
+      t.backward_input_s = state.frozen ? 0.0 : t.forward_s * kDgradFactor;
+      t.backward_weight_s = state.frozen ? 0.0 : t.forward_s * kWgradFactor;
+      break;
+    }
+    case LayerKind::TransformerBlock:
+    case LayerKind::MoeTransformerBlock: {
+      t.forward_s = block_forward_s(layer, state, micro_batch);
+      t.backward_input_s = state.frozen ? 0.0 : t.forward_s * kDgradFactor;
+      t.backward_weight_s = state.frozen ? 0.0 : t.forward_s * kWgradFactor;
+      break;
+    }
+  }
+  return t;
+}
+
+double LayerCostModel::layer_memory_bytes(
+    const LayerDesc& layer, const LayerState& state, std::size_t micro_batch,
+    std::size_t resident_microbatches) const {
+  const double states = memory_.layer_state_bytes(
+      layer.params, state.frozen, std::clamp(state.weight_density, 0.0, 1.0));
+  const double act =
+      memory_.activation_bytes(micro_batch, layer.seq_len, layer.hidden) *
+      static_cast<double>(resident_microbatches) *
+      std::clamp(state.token_fraction, 0.0, 1.0);
+  return states + act;
+}
+
+double LayerCostModel::activation_message_bytes(const LayerDesc& layer,
+                                                const LayerState& state,
+                                                std::size_t micro_batch) const {
+  // bf16 activations: tokens x hidden x 2 bytes.
+  return std::clamp(state.token_fraction, 0.0, 1.0) *
+         static_cast<double>(micro_batch) *
+         static_cast<double>(layer.seq_len) *
+         static_cast<double>(layer.hidden) * 2.0;
+}
+
+}  // namespace dynmo::model

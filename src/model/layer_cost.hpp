@@ -1,0 +1,67 @@
+// Per-layer execution time and memory, combining the static LayerDesc, the
+// dynamic LayerState, and the hardware kernel cost model.
+//
+// This is the "ground truth" the simulator charges per layer per microbatch;
+// DynMo's profiler *measures* these times from the executed timeline rather
+// than reading them directly — keeping the balancer black-box, as in the
+// paper (§3.2).
+//
+// Semantics of the dynamic multipliers follow the paper's formal model (§2):
+//   pruning      — MLP GEMMs become SpMM at `weight_density` on the selected
+//                  backend (Sputnik/cuSPARSE/dense, §4.2.2)
+//   freezing     — frozen layers still run forward but skip backward and
+//                  gradient exchange (Egeria semantics)
+//   sparse attn  — `attn_density` scales the touched attention blocks
+//   early exit / — `token_fraction` scales every token-proportional term
+//   MoD
+//   MoE          — `moe_load` scales expert FFN time (routing skew)
+#pragma once
+
+#include "hw/kernel_cost.hpp"
+#include "hw/memory_model.hpp"
+#include "model/layer.hpp"
+
+namespace dynmo::model {
+
+struct LayerTimes {
+  double forward_s = 0.0;
+  double backward_input_s = 0.0;   ///< dgrad: needed by the previous stage
+  double backward_weight_s = 0.0;  ///< wgrad: schedulable into bubbles (ZB)
+  double backward_s() const { return backward_input_s + backward_weight_s; }
+  double total_s() const { return forward_s + backward_s(); }
+};
+
+class LayerCostModel {
+ public:
+  LayerCostModel(hw::KernelCostModel kernels, hw::MemoryModel memory)
+      : kernels_(kernels), memory_(memory) {}
+  explicit LayerCostModel(hw::GpuSpec spec = hw::GpuSpec::h100_sxm5())
+      : kernels_(spec), memory_(hw::MemoryModel{}) {}
+
+  /// Time for one microbatch of `micro_batch` sequences through `layer`.
+  LayerTimes layer_times(const LayerDesc& layer, const LayerState& state,
+                         std::size_t micro_batch) const;
+
+  /// Device bytes the layer pins (params + grads + optimizer + activations
+  /// for `resident_microbatches` in-flight microbatches).
+  double layer_memory_bytes(const LayerDesc& layer, const LayerState& state,
+                            std::size_t micro_batch,
+                            std::size_t resident_microbatches) const;
+
+  /// Bytes of activations crossing a stage boundary after this layer.
+  double activation_message_bytes(const LayerDesc& layer,
+                                  const LayerState& state,
+                                  std::size_t micro_batch) const;
+
+  const hw::KernelCostModel& kernels() const { return kernels_; }
+  const hw::MemoryModel& memory() const { return memory_; }
+
+ private:
+  double block_forward_s(const LayerDesc& l, const LayerState& s,
+                         std::size_t mb) const;
+
+  hw::KernelCostModel kernels_;
+  hw::MemoryModel memory_;
+};
+
+}  // namespace dynmo::model

@@ -1,0 +1,96 @@
+#include "pipeline/cost_builder.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace dynmo::pipeline {
+
+std::vector<model::LayerTimes> CostBuilder::layer_times(
+    std::span<const model::LayerState> states) const {
+  DYNMO_CHECK(states.size() == model_->num_layers(),
+              "state count " << states.size() << " != layer count "
+                             << model_->num_layers());
+  std::vector<model::LayerTimes> times;
+  times.reserve(states.size());
+  for (std::size_t l = 0; l < states.size(); ++l) {
+    times.push_back(
+        layer_costs_.layer_times(model_->layers[l], states[l], cfg_.micro_batch));
+  }
+  return times;
+}
+
+std::vector<double> CostBuilder::layer_total_seconds(
+    std::span<const model::LayerState> states) const {
+  const auto times = layer_times(states);
+  std::vector<double> totals;
+  totals.reserve(times.size());
+  for (const auto& t : times) totals.push_back(t.total_s());
+  return totals;
+}
+
+std::vector<double> CostBuilder::layer_memory_bytes(
+    std::span<const model::LayerState> states, const StageMap& map) const {
+  DYNMO_CHECK(states.size() == model_->num_layers(), "state count mismatch");
+  DYNMO_CHECK(map.num_layers() == model_->num_layers(), "map layer mismatch");
+  std::vector<double> mem;
+  mem.reserve(states.size());
+  for (std::size_t l = 0; l < states.size(); ++l) {
+    // 1F1B keeps up to (S − stage) microbatches of activations resident;
+    // bound by the microbatch count.
+    const int s = map.stage_of(l);
+    const int resident =
+        std::min(cfg_.num_microbatches, map.num_stages() - s);
+    mem.push_back(layer_costs_.layer_memory_bytes(
+        model_->layers[l], states[l], cfg_.micro_batch,
+        static_cast<std::size_t>(std::max(1, resident))));
+  }
+  return mem;
+}
+
+StageCosts CostBuilder::build(std::span<const model::LayerState> states,
+                              const StageMap& map,
+                              const MicrobatchScaleFn& mb_scale) const {
+  const auto times = layer_times(states);
+  const int S = map.num_stages();
+  StageCosts costs(S, cfg_.num_microbatches);
+
+  for (int s = 0; s < S; ++s) {
+    for (int mb = 0; mb < cfg_.num_microbatches; ++mb) {
+      double f = 0.0;
+      double bi = 0.0;
+      double bw = 0.0;
+      for (std::size_t l = map.stage_begin(s); l < map.stage_end(s); ++l) {
+        const double scale = mb_scale ? std::max(0.0, mb_scale(l, mb)) : 1.0;
+        f += times[l].forward_s * scale;
+        bi += times[l].backward_input_s * scale;
+        bw += times[l].backward_weight_s * scale;
+      }
+      costs.fwd(s, mb) = f;
+      costs.bwd_input(s, mb) = bi;
+      costs.bwd_weight(s, mb) = bw;
+    }
+  }
+
+  // Inter-stage transfer: activations of the boundary layer.
+  for (int s = 0; s + 1 < S; ++s) {
+    double bytes = 0.0;
+    if (map.stage_size(s) > 0) {
+      const std::size_t boundary = map.stage_end(s) - 1;
+      bytes = layer_costs_.activation_message_bytes(
+          model_->layers[boundary], states[boundary], cfg_.micro_batch);
+    } else if (map.num_layers() > 0) {
+      // Empty stage forwards its input unchanged.
+      const std::size_t prev = map.stage_begin(s) > 0 ? map.stage_begin(s) - 1 : 0;
+      bytes = layer_costs_.activation_message_bytes(model_->layers[prev],
+                                                    states[prev],
+                                                    cfg_.micro_batch);
+    }
+    costs.send(s) = comm_costs_.p2p_time(cfg_.first_global_rank + s,
+                                         cfg_.first_global_rank + s + 1,
+                                         static_cast<std::size_t>(bytes));
+  }
+  return costs;
+}
+
+}  // namespace dynmo::pipeline

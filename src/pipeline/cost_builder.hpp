@@ -1,0 +1,66 @@
+// Builds StageCosts for one iteration from the model description, the
+// dynamic layer states, a stage map, and the hardware cost models.
+//
+// An optional per-(layer, microbatch) scale hook lets dynamism engines whose
+// load fluctuates *within* an iteration (MoE and MoD token routing differs
+// per microbatch) perturb individual microbatches, which is exactly the
+// fine-grained imbalance DynMo's every-iteration rebalancing targets.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "comm/cost_model.hpp"
+#include "model/layer_cost.hpp"
+#include "pipeline/schedule.hpp"
+#include "pipeline/stage_map.hpp"
+
+namespace dynmo::pipeline {
+
+struct CostBuilderConfig {
+  std::size_t micro_batch = 2;
+  int num_microbatches = 4;
+  /// Global ranks hosting consecutive stages are assumed consecutive, so the
+  /// comm cost model can decide NVLink vs InfiniBand per boundary.
+  int first_global_rank = 0;
+};
+
+using MicrobatchScaleFn = std::function<double(std::size_t layer, int mb)>;
+
+class CostBuilder {
+ public:
+  CostBuilder(const model::ModelDesc& model, model::LayerCostModel layer_costs,
+              comm::CostModel comm_costs, CostBuilderConfig cfg)
+      : model_(&model), layer_costs_(layer_costs), comm_costs_(comm_costs),
+        cfg_(cfg) {}
+
+  /// Per-layer times for the current states (one microbatch).
+  std::vector<model::LayerTimes> layer_times(
+      std::span<const model::LayerState> states) const;
+
+  /// Per-layer total (fwd+bwd) seconds — the balancers' by-time weights.
+  std::vector<double> layer_total_seconds(
+      std::span<const model::LayerState> states) const;
+
+  /// Per-layer memory bytes under the given stage map (activation residency
+  /// scales with in-flight microbatches = stage depth for 1F1B).
+  std::vector<double> layer_memory_bytes(
+      std::span<const model::LayerState> states, const StageMap& map) const;
+
+  /// Assemble the full StageCosts table for one iteration.
+  StageCosts build(std::span<const model::LayerState> states,
+                   const StageMap& map,
+                   const MicrobatchScaleFn& mb_scale = {}) const;
+
+  const CostBuilderConfig& config() const { return cfg_; }
+  const model::LayerCostModel& layer_cost_model() const { return layer_costs_; }
+  const comm::CostModel& comm_cost_model() const { return comm_costs_; }
+
+ private:
+  const model::ModelDesc* model_;
+  model::LayerCostModel layer_costs_;
+  comm::CostModel comm_costs_;
+  CostBuilderConfig cfg_;
+};
+
+}  // namespace dynmo::pipeline

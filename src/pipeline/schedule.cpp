@@ -1,0 +1,237 @@
+#include "pipeline/schedule.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace dynmo::pipeline {
+
+const char* to_string(ScheduleKind k) {
+  switch (k) {
+    case ScheduleKind::GPipe: return "gpipe";
+    case ScheduleKind::OneFOneB: return "1f1b";
+    case ScheduleKind::ZbH1: return "zb-h1";
+  }
+  return "?";
+}
+
+StageCosts::StageCosts(int num_stages, int num_microbatches)
+    : stages_(num_stages), microbatches_(num_microbatches) {
+  DYNMO_CHECK(num_stages > 0 && num_microbatches > 0,
+              "stages/microbatches must be positive");
+  const auto n = static_cast<std::size_t>(num_stages) *
+                 static_cast<std::size_t>(num_microbatches);
+  fwd_.assign(n, 0.0);
+  bwd_input_.assign(n, 0.0);
+  bwd_weight_.assign(n, 0.0);
+  send_.assign(static_cast<std::size_t>(std::max(0, num_stages - 1)), 0.0);
+}
+
+void StageCosts::set_stage(int s, double fwd_s, double bwd_input_s,
+                           double bwd_weight_s) {
+  for (int mb = 0; mb < microbatches_; ++mb) {
+    fwd(s, mb) = fwd_s;
+    bwd_input(s, mb) = bwd_input_s;
+    bwd_weight(s, mb) = bwd_weight_s;
+  }
+}
+
+double StageCosts::total_work() const {
+  return std::accumulate(fwd_.begin(), fwd_.end(), 0.0) +
+         std::accumulate(bwd_input_.begin(), bwd_input_.end(), 0.0) +
+         std::accumulate(bwd_weight_.begin(), bwd_weight_.end(), 0.0);
+}
+
+double PipelineResult::avg_idleness() const {
+  if (busy_s.empty() || makespan_s <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (double idle : idle_s) acc += idle / makespan_s;
+  return acc / static_cast<double>(idle_s.size());
+}
+
+double PipelineResult::bubble_ratio() const {
+  if (busy_s.empty() || makespan_s <= 0.0) return 0.0;
+  const double busy_total =
+      std::accumulate(busy_s.begin(), busy_s.end(), 0.0);
+  return 1.0 - busy_total /
+                   (makespan_s * static_cast<double>(busy_s.size()));
+}
+
+double PipelineResult::max_idleness() const {
+  if (idle_s.empty() || makespan_s <= 0.0) return 0.0;
+  return *std::max_element(idle_s.begin(), idle_s.end()) / makespan_s;
+}
+
+namespace {
+
+enum class OpKind { F, B, W };
+
+struct Op {
+  OpKind kind;
+  int mb;
+};
+
+/// Per-stage op order for the requested schedule.  For GPipe and 1F1B the
+/// backward-weight work is fused into B; ZB-H1 emits separate W ops.
+std::vector<Op> stage_program(ScheduleKind kind, int s, int num_stages,
+                              int m) {
+  std::vector<Op> ops;
+  switch (kind) {
+    case ScheduleKind::GPipe: {
+      for (int i = 0; i < m; ++i) ops.push_back({OpKind::F, i});
+      for (int i = m - 1; i >= 0; --i) ops.push_back({OpKind::B, i});
+      break;
+    }
+    case ScheduleKind::OneFOneB:
+    case ScheduleKind::ZbH1: {
+      const int warmup = std::min(m, num_stages - 1 - s);
+      int f = 0;
+      int b = 0;
+      for (int i = 0; i < warmup; ++i) ops.push_back({OpKind::F, f++});
+      while (f < m) {
+        ops.push_back({OpKind::F, f++});
+        ops.push_back({OpKind::B, b++});
+      }
+      while (b < m) ops.push_back({OpKind::B, b++});
+      break;
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+PipelineResult simulate(ScheduleKind kind, const StageCosts& costs,
+                        const OpRecorder& recorder) {
+  const int S = costs.num_stages();
+  const int m = costs.num_microbatches();
+  const bool split_wgrad = (kind == ScheduleKind::ZbH1);
+
+  // done[s][mb] for F and B; -1 = not yet executed.
+  const auto idx = [m](int s, int mb) {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(m) +
+           static_cast<std::size_t>(mb);
+  };
+  std::vector<double> f_done(static_cast<std::size_t>(S) * m, -1.0);
+  std::vector<double> b_done(static_cast<std::size_t>(S) * m, -1.0);
+
+  struct StageRun {
+    std::vector<Op> program;
+    std::size_t next = 0;
+    double time = 0.0;
+    double busy = 0.0;
+    std::deque<int> pending_w;  // microbatches with deferred wgrad (ZB)
+  };
+  std::vector<StageRun> runs(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    runs[static_cast<std::size_t>(s)].program = stage_program(kind, s, S, m);
+  }
+
+  const double kNotReady = -1.0;
+  // Earliest time the op may *start* on its stage; kNotReady if the
+  // cross-stage dependency has not been simulated yet.
+  const auto ready_time = [&](int s, const Op& op) -> double {
+    switch (op.kind) {
+      case OpKind::F: {
+        if (s == 0) return 0.0;
+        const double dep = f_done[idx(s - 1, op.mb)];
+        return dep < 0.0 ? kNotReady : dep + costs.send(s - 1);
+      }
+      case OpKind::B: {
+        if (s == S - 1) {
+          const double dep = f_done[idx(s, op.mb)];
+          return dep < 0.0 ? kNotReady : dep;
+        }
+        const double dep = b_done[idx(s + 1, op.mb)];
+        return dep < 0.0 ? kNotReady : dep + costs.send(s);
+      }
+      case OpKind::W: return 0.0;  // same-stage order guarantees B done
+    }
+    return kNotReady;
+  };
+
+  const auto duration = [&](int s, const Op& op) -> double {
+    switch (op.kind) {
+      case OpKind::F: return costs.fwd(s, op.mb);
+      case OpKind::B:
+        return split_wgrad ? costs.bwd_input(s, op.mb)
+                           : costs.bwd_input(s, op.mb) +
+                                 costs.bwd_weight(s, op.mb);
+      case OpKind::W: return costs.bwd_weight(s, op.mb);
+    }
+    return 0.0;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int s = 0; s < S; ++s) {
+      auto& run = runs[static_cast<std::size_t>(s)];
+      while (run.next < run.program.size()) {
+        const Op op = run.program[run.next];
+        const double ready = ready_time(s, op);
+        if (ready == kNotReady) {
+          break;  // dependency not simulated yet: revisit next pass
+        }
+        // ZB-H1: before stalling until `ready`, fill the bubble with any
+        // deferred weight-gradient work that fits entirely inside it.
+        if (split_wgrad && ready > run.time) {
+          while (!run.pending_w.empty()) {
+            const int wmb = run.pending_w.front();
+            const double wdur = costs.bwd_weight(s, wmb);
+            if (run.time + wdur > ready) break;
+            if (recorder) recorder(s, wmb, 'W', run.time, wdur);
+            run.time += wdur;
+            run.busy += wdur;
+            run.pending_w.pop_front();
+          }
+        }
+        const double start = std::max(run.time, ready);
+        const double dur = duration(s, op);
+        if (recorder) {
+          recorder(s, op.mb, op.kind == OpKind::F ? 'F' : 'B', start, dur);
+        }
+        run.time = start + dur;
+        run.busy += dur;
+        if (op.kind == OpKind::F) {
+          f_done[idx(s, op.mb)] = run.time;
+        } else if (op.kind == OpKind::B) {
+          b_done[idx(s, op.mb)] = run.time;
+          if (split_wgrad) run.pending_w.push_back(op.mb);
+        }
+        ++run.next;
+        progress = true;
+      }
+    }
+  }
+
+  // Drain leftover weight-gradient work (must finish before the optimizer
+  // step at iteration end).
+  for (int s = 0; s < S; ++s) {
+    auto& run = runs[static_cast<std::size_t>(s)];
+    DYNMO_CHECK(run.next == run.program.size(),
+                "pipeline deadlock at stage " << s << ": op " << run.next
+                                              << '/' << run.program.size());
+    while (!run.pending_w.empty()) {
+      const double wdur = costs.bwd_weight(s, run.pending_w.front());
+      if (recorder) recorder(s, run.pending_w.front(), 'W', run.time, wdur);
+      run.time += wdur;
+      run.busy += wdur;
+      run.pending_w.pop_front();
+    }
+  }
+
+  PipelineResult res;
+  for (const auto& run : runs) {
+    res.makespan_s = std::max(res.makespan_s, run.time);
+  }
+  res.busy_s.reserve(runs.size());
+  res.idle_s.reserve(runs.size());
+  for (const auto& run : runs) {
+    res.busy_s.push_back(run.busy);
+    res.idle_s.push_back(res.makespan_s - run.busy);
+  }
+  return res;
+}
+
+}  // namespace dynmo::pipeline

@@ -1,0 +1,84 @@
+// Elastic resource management (paper §3.4.2).
+//
+// After re-packing, released GPUs must (a) be fenced off from the training
+// communicator — done with a communicator split, the ncclCommSplit()
+// analogue — and (b) be returned to the cluster manager.  The paper
+// integrates with ECK (Elastic Cloud on Kubernetes) by PATCHing the pod
+// spec's resource requests/limits; JobManagerClient reproduces that
+// handshake against an in-process mock API server so the full release state
+// machine is exercised.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace dynmo::repack {
+
+/// One PATCH request as the Kubernetes API server would see it.
+struct PatchRequest {
+  std::string pod;
+  int gpus_requested = 0;  ///< new resources.requests["nvidia.com/gpu"]
+  int gpus_limit = 0;      ///< new resources.limits["nvidia.com/gpu"]
+};
+
+/// In-process stand-in for the ECK-managed Kubernetes control plane.
+/// Freed GPUs become schedulable for "pending jobs" (a counter here).
+class MockEckCluster {
+ public:
+  explicit MockEckCluster(int total_gpus) : free_gpus_(0),
+                                            total_gpus_(total_gpus) {}
+
+  /// Handle a PATCH; returns HTTP-ish status code (200 on success).
+  int patch_pod(const PatchRequest& req);
+
+  int free_gpus() const;
+  int total_gpus() const { return total_gpus_; }
+  const std::vector<PatchRequest>& patches() const { return patches_; }
+
+  /// A pending job grabs up to n GPUs; returns how many it got.
+  int schedule_pending_job(int wanted);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PatchRequest> patches_;
+  int allocated_ = 0;  ///< GPUs currently claimed by our training pod
+  int free_gpus_;
+  int total_gpus_;
+  bool saw_first_patch_ = false;
+};
+
+class JobManagerClient {
+ public:
+  JobManagerClient(MockEckCluster* cluster, std::string pod_name,
+                   int initial_gpus);
+
+  /// Shrink this pod's GPU claim to `gpus`; released GPUs go back to the
+  /// cluster queue.  Returns false if the API server rejected the PATCH.
+  bool resize_gpu_claim(int gpus);
+
+  int claimed_gpus() const { return claimed_; }
+
+ private:
+  MockEckCluster* cluster_;
+  std::string pod_;
+  int claimed_;
+};
+
+/// Outcome of fencing released workers off the training communicator.
+struct SplitOutcome {
+  std::optional<comm::Communicator> active;  ///< set iff this rank stays
+  bool released = false;
+};
+
+/// Every rank of `comm` calls this with the post-repack active mask
+/// (indexed by current rank).  Active ranks get the new, smaller
+/// communicator (rank order preserved); released ranks get released=true
+/// and no communicator — exactly ncclCommSplit with NOCOLOR.
+SplitOutcome split_active_workers(const comm::Communicator& comm,
+                                  const std::vector<bool>& active_mask);
+
+}  // namespace dynmo::repack

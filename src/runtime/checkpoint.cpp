@@ -1,0 +1,179 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "balance/partition.hpp"
+#include "comm/message.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace dynmo::runtime {
+
+namespace {
+
+std::uint64_t buffer_checksum(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    h = hash_mix(h, static_cast<std::uint8_t>(bytes[i]), i);
+  }
+  return h;
+}
+
+void pack_layer_state(comm::Packer& p, const model::LayerState& s) {
+  p.put(s.weight_density);
+  p.put(static_cast<std::uint8_t>(s.frozen ? 1 : 0));
+  p.put(s.attn_density);
+  p.put(s.token_fraction);
+  p.put(s.moe_load);
+  p.put(s.compute_scale);
+  p.put(static_cast<std::uint8_t>(s.spmm_backend));
+}
+
+model::LayerState unpack_layer_state(comm::Unpacker& u) {
+  model::LayerState s;
+  s.weight_density = u.get<double>();
+  s.frozen = u.get<std::uint8_t>() != 0;
+  s.attn_density = u.get<double>();
+  s.token_fraction = u.get<double>();
+  s.moe_load = u.get<double>();
+  s.compute_scale = u.get<double>();
+  s.spmm_backend = static_cast<hw::SpmmBackend>(u.get<std::uint8_t>());
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::byte> Checkpoint::serialize() const {
+  comm::Packer p;
+  p.put(kMagic);
+  p.put(kVersion);
+  p.put(iteration);
+
+  const auto& b = stage_map.boundaries();
+  p.put_vector(std::vector<std::uint64_t>(b.begin(), b.end()));
+
+  p.put<std::uint64_t>(layer_states.size());
+  for (const auto& s : layer_states) pack_layer_state(p, s);
+
+  p.put<std::uint64_t>(weights.size());
+  for (const auto& [layer, w] : weights) {
+    p.put(layer);
+    p.put<std::uint64_t>(w.rows());
+    p.put<std::uint64_t>(w.cols());
+    p.put_span(w.data());
+  }
+
+  auto body = p.take();
+  const std::uint64_t checksum = buffer_checksum(body);
+  comm::Packer tail;
+  tail.put(checksum);
+  const auto tail_bytes = tail.take();
+  body.insert(body.end(), tail_bytes.begin(), tail_bytes.end());
+  return body;
+}
+
+Checkpoint Checkpoint::deserialize(std::span<const std::byte> bytes) {
+  DYNMO_CHECK(bytes.size() > sizeof(std::uint64_t),
+              "checkpoint truncated: " << bytes.size() << " bytes");
+  const auto body = bytes.first(bytes.size() - sizeof(std::uint64_t));
+  {
+    comm::Unpacker tail(bytes.subspan(body.size()));
+    const auto stored = tail.get<std::uint64_t>();
+    DYNMO_CHECK(stored == buffer_checksum(body),
+                "checkpoint integrity checksum mismatch");
+  }
+
+  comm::Unpacker u(body);
+  DYNMO_CHECK(u.get<std::uint32_t>() == kMagic, "not a DynMo checkpoint");
+  const auto version = u.get<std::uint32_t>();
+  DYNMO_CHECK(version == kVersion,
+              "unsupported checkpoint version " << version);
+
+  Checkpoint ckpt;
+  ckpt.iteration = u.get<std::int64_t>();
+  const auto b64 = u.get_vector<std::uint64_t>();
+  ckpt.stage_map = pipeline::StageMap::from_boundaries(
+      std::vector<std::size_t>(b64.begin(), b64.end()));
+
+  const auto n_states = u.get<std::uint64_t>();
+  ckpt.layer_states.reserve(n_states);
+  for (std::uint64_t i = 0; i < n_states; ++i) {
+    ckpt.layer_states.push_back(unpack_layer_state(u));
+  }
+
+  const auto n_weights = u.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_weights; ++i) {
+    const auto layer = u.get<std::uint64_t>();
+    const auto rows = u.get<std::uint64_t>();
+    const auto cols = u.get<std::uint64_t>();
+    const auto data = u.get_vector<float>();
+    DYNMO_CHECK(data.size() == rows * cols, "weight shape mismatch");
+    tensor::Tensor t(rows, cols);
+    std::copy(data.begin(), data.end(), t.data().begin());
+    ckpt.weights.emplace(layer, std::move(t));
+  }
+  return ckpt;
+}
+
+void Checkpoint::save(const std::string& path) const {
+  const auto bytes = serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DYNMO_CHECK(out.good(), "cannot open checkpoint file " << path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  DYNMO_CHECK(out.good(), "short write to " << path);
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  DYNMO_CHECK(in.good(), "cannot open checkpoint file " << path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  DYNMO_CHECK(in.good(), "short read from " << path);
+  return deserialize(bytes);
+}
+
+bool Checkpoint::operator==(const Checkpoint& other) const {
+  if (iteration != other.iteration || stage_map != other.stage_map ||
+      layer_states.size() != other.layer_states.size() ||
+      weights.size() != other.weights.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < layer_states.size(); ++i) {
+    const auto& a = layer_states[i];
+    const auto& b = other.layer_states[i];
+    if (a.weight_density != b.weight_density || a.frozen != b.frozen ||
+        a.attn_density != b.attn_density ||
+        a.token_fraction != b.token_fraction || a.moe_load != b.moe_load ||
+        a.compute_scale != b.compute_scale ||
+        a.spmm_backend != b.spmm_backend) {
+      return false;
+    }
+  }
+  for (const auto& [layer, w] : weights) {
+    const auto it = other.weights.find(layer);
+    if (it == other.weights.end() || !it->second.same_shape(w)) return false;
+    const auto a = w.data();
+    const auto b = it->second.data();
+    if (!std::equal(a.begin(), a.end(), b.begin())) return false;
+  }
+  return true;
+}
+
+Checkpoint reshard_for_restart(Checkpoint ckpt, int new_workers,
+                               std::span<const double> balance_weights) {
+  DYNMO_CHECK(new_workers > 0, "need at least one worker");
+  DYNMO_CHECK(balance_weights.size() == ckpt.stage_map.num_layers(),
+              "balance weight count mismatch");
+  balance::PartitionRequest req;
+  req.weights.assign(balance_weights.begin(), balance_weights.end());
+  req.num_stages = new_workers;
+  ckpt.stage_map = balance::PartitionBalancer{}.balance(req).map;
+  return ckpt;
+}
+
+}  // namespace dynmo::runtime

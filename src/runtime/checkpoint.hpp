@@ -1,0 +1,58 @@
+// Checkpointing, and checkpoint-coordinated re-packing (paper §3.4.2).
+//
+// "Re-packing can be coordinated with checkpointing. ... By combining
+// re-packing with a checkpoint restart, the implementation is simplified
+// since a new NCCL communicator is already created during the restart.
+// Moreover, because the model is reloaded and resharded among the workers
+// during checkpoint recovery, there is no additional overhead for
+// resharding the model to a new set of workers."
+//
+// A Checkpoint captures everything needed to resume training on a
+// *different* worker count: iteration, stage map, per-layer dynamic state,
+// and (for the threaded runtime) the layer weights.  The binary format is
+// a tagged, versioned stream with a trailing integrity checksum.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/layer.hpp"
+#include "pipeline/stage_map.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dynmo::runtime {
+
+struct Checkpoint {
+  static constexpr std::uint32_t kMagic = 0x44594e4d;  // "DYNM"
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::int64_t iteration = 0;
+  pipeline::StageMap stage_map;
+  std::vector<model::LayerState> layer_states;
+  /// Layer weights (threaded runtime); may be empty for simulated sessions.
+  std::map<std::uint64_t, tensor::Tensor> weights;
+
+  /// Serialize to a byte buffer (stable across platforms of equal
+  /// endianness; includes an integrity checksum).
+  std::vector<std::byte> serialize() const;
+  /// Parse; throws dynmo::Error on corruption / version mismatch.
+  static Checkpoint deserialize(std::span<const std::byte> bytes);
+
+  /// Convenience file I/O.
+  void save(const std::string& path) const;
+  static Checkpoint load(const std::string& path);
+
+  bool operator==(const Checkpoint& other) const;
+};
+
+/// Re-shard a checkpoint's stage map for a new worker count during restart
+/// (the "reloaded and resharded" path): layers are re-partitioned by the
+/// given per-layer weights onto `new_workers` stages.  The checkpoint's
+/// dynamic layer states and weights are preserved untouched.
+Checkpoint reshard_for_restart(Checkpoint ckpt, int new_workers,
+                               std::span<const double> balance_weights);
+
+}  // namespace dynmo::runtime

@@ -1,0 +1,293 @@
+#include "runtime/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/log.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "dynamic/freezing.hpp"
+
+namespace dynmo::runtime {
+
+const char* to_string(BalancingMode m) {
+  switch (m) {
+    case BalancingMode::StaticUniform: return "static_megatron";
+    case BalancingMode::StaticParam: return "static_deepspeed";
+    case BalancingMode::Egeria: return "egeria";
+    case BalancingMode::Tutel: return "tutel";
+    case BalancingMode::DynMo: return "dynmo";
+  }
+  return "?";
+}
+
+TrainingSession::TrainingSession(const model::ModelDesc& model,
+                                 SessionConfig cfg,
+                                 dynamic::DynamismEngine* engine)
+    : model_(&model), cfg_(cfg), engine_(engine),
+      layer_costs_(cfg.gpu),
+      net_(comm::CostModel(cfg.net)),
+      builder_(model, layer_costs_, net_,
+               pipeline::CostBuilderConfig{cfg.micro_batch,
+                                           cfg.num_microbatches, 0}) {
+  DYNMO_CHECK(cfg.pipeline_stages > 0, "need at least one stage");
+  DYNMO_CHECK(cfg.iterations > 0, "need at least one iteration");
+  DYNMO_CHECK(cfg.sim_stride > 0, "stride must be positive");
+  DYNMO_CHECK(static_cast<std::size_t>(cfg.pipeline_stages) <=
+                  model.num_layers(),
+              "more stages than layers");
+}
+
+double TrainingSession::tokens_per_iteration() const {
+  const std::size_t seq = model_->layers.front().seq_len;
+  return static_cast<double>(cfg_.micro_batch) *
+         static_cast<double>(cfg_.num_microbatches) *
+         static_cast<double>(seq) * static_cast<double>(cfg_.data_parallel);
+}
+
+std::int64_t TrainingSession::effective_rebalance_interval() const {
+  if (cfg_.rebalance_interval > 0) return cfg_.rebalance_interval;
+  if (engine_ != nullptr) return engine_->recommended_rebalance_interval();
+  return 0;
+}
+
+double TrainingSession::dp_allreduce_exposed_s(
+    const pipeline::StageMap& map,
+    std::span<const model::LayerState> states) const {
+  if (cfg_.data_parallel <= 1) return 0.0;
+  // Gradient volume of the busiest stage gates the DP allreduce; frozen
+  // layers drop out of the exchange entirely (Egeria semantics).
+  double worst_bytes = 0.0;
+  for (int s = 0; s < map.num_stages(); ++s) {
+    double bytes = 0.0;
+    for (std::size_t l = map.stage_begin(s); l < map.stage_end(s); ++l) {
+      if (states[l].frozen) continue;
+      bytes += static_cast<double>(model_->layers[l].params) * 2.0 *
+               std::clamp(states[l].weight_density, 0.0, 1.0);
+    }
+    worst_bytes = std::max(worst_bytes, bytes);
+  }
+  const double full = net_.allreduce_time(
+      cfg_.data_parallel, static_cast<std::size_t>(worst_bytes),
+      /*crosses_nodes=*/true);
+  return full * (1.0 - std::clamp(cfg_.dp_overlap, 0.0, 1.0));
+}
+
+void TrainingSession::apply_tutel_mitigation(
+    std::span<model::LayerState> states) const {
+  // Tutel's adaptive parallelism + 2D all_to_all remove part of the routing
+  // hotspot without moving layers: it reclaims roughly half of the skew
+  // (emulation; Hwang et al. report similar bubble reductions).
+  constexpr double kSkewRetained = 0.55;
+  for (auto& s : states) {
+    s.moe_load = 1.0 + (s.moe_load - 1.0) * kSkewRetained;
+    s.token_fraction = 1.0 + (s.token_fraction - 1.0) * kSkewRetained;
+  }
+}
+
+SessionResult TrainingSession::run() {
+  const int S0 = cfg_.pipeline_stages;
+  const double mem_capacity = cfg_.gpu.mem_capacity;
+
+  std::vector<model::LayerState> states(model_->num_layers());
+
+  // Initial static placement.
+  pipeline::StageMap map;
+  switch (cfg_.mode) {
+    case BalancingMode::StaticParam: {
+      std::vector<double> params;
+      params.reserve(model_->num_layers());
+      for (const auto& l : model_->layers) {
+        params.push_back(static_cast<double>(l.params));
+      }
+      map = pipeline::StageMap::greedy_by_weight(params, S0);
+      break;
+    }
+    default:
+      map = pipeline::StageMap::uniform(model_->num_layers(), S0);
+      break;
+  }
+  int active = S0;
+
+  balance::Rebalancer rebalancer(
+      balance::RebalanceConfig{cfg_.algorithm, cfg_.balance_by, mem_capacity,
+                               0.0, 2e-6, 10e-6},
+      net_);
+
+  const std::int64_t interval = effective_rebalance_interval();
+  Rng noise_rng(hash_mix(cfg_.seed, 0x7e55));
+
+  SessionResult res;
+  RunningStats idleness_stats;
+  RunningStats bubble_stats;
+  RunningStats workers_stats;
+
+  for (std::int64_t iter = 0; iter < cfg_.iterations;
+       iter += cfg_.sim_stride) {
+    if (engine_ != nullptr) engine_->step(iter, states);
+    if (cfg_.mode == BalancingMode::Tutel) apply_tutel_mitigation(states);
+
+    const auto mb_scale =
+        engine_ != nullptr ? engine_->microbatch_scale(iter)
+                           : pipeline::MicrobatchScaleFn{};
+
+    // Per-real-iteration compute time (repeated sim_stride times) vs.
+    // one-off event time (rebalance decisions, migrations) — the latter is
+    // charged per *event*, scaled by how many events the stride window
+    // covers.
+    double iter_time = 0.0;
+    double event_time = 0.0;
+    const double events_per_window =
+        (interval > 0 && interval <= cfg_.sim_stride)
+            ? static_cast<double>(cfg_.sim_stride) /
+                  static_cast<double>(interval)
+            : 1.0;
+
+    const auto mem = builder_.layer_memory_bytes(states, map);
+
+    // --- DynMo: rebalance / re-pack --------------------------------------
+    // Rebalancing happens *inside* the iteration: for every-iteration
+    // cadences (MoE / MoD / sparse attention) the forward pass measures the
+    // routing loads and the backward pass migrates layers accordingly
+    // (§3.3.1), so the new map takes effect for the very loads that were
+    // measured.  For slow cadences (pruning / freezing / early exit) this
+    // merely skips the single imbalanced profiling iteration, which is
+    // negligible at those intervals.
+    if (cfg_.mode == BalancingMode::DynMo && interval > 0 &&
+        iter % interval == 0) {
+      balance::LayerProfile profile;
+      profile.time_s = builder_.layer_total_seconds(states);
+      profile.memory_bytes = mem;
+      profile.params.reserve(model_->num_layers());
+      for (const auto& l : model_->layers) {
+        profile.params.push_back(static_cast<double>(l.params));
+      }
+      balance::add_measurement_noise(profile, noise_rng);
+
+      const auto outcome = rebalancer.rebalance(profile, map);
+      map = outcome.map;
+      balance::OverheadBreakdown scaled = outcome.overhead;
+      // Every-iteration rebalancing couples migration with backprop; only
+      // the non-overlapped remainder is exposed.
+      if (interval == 1) {
+        scaled.migrate_s *=
+            1.0 - std::clamp(cfg_.migration_overlap, 0.0, 1.0);
+      }
+      scaled.profile_s *= events_per_window;
+      scaled.decide_s *= events_per_window;
+      scaled.migrate_s *= events_per_window;
+      res.overhead += scaled;
+      event_time += scaled.total_s();
+      ++res.rebalance_count;
+
+      if (cfg_.repack && iter > 0 && iter % cfg_.repack_interval == 0) {
+        int target = cfg_.repack_target_workers;
+        if (target <= 0 &&
+            cfg_.repack_policy ==
+                SessionConfig::RepackPolicy::ThroughputPreserving) {
+          // Release workers only while the *optimal contiguous bottleneck*
+          // at the reduced count stays within tolerance of what the full
+          // worker count could achieve on today's loads.  The reference is
+          // recomputed from the current profile but always at the original
+          // stage count, so repeated re-packs cannot ratchet the pipeline
+          // slower and slower.
+          constexpr double kTolerance = 1.05;
+          const double ref_bottleneck =
+              balance::PartitionBalancer::optimal_bottleneck(profile.time_s,
+                                                             S0);
+          target = active;
+          for (int a = 1; a <= active; ++a) {
+            if (balance::PartitionBalancer::optimal_bottleneck(
+                    profile.time_s, a) <= ref_bottleneck * kTolerance) {
+              target = a;
+              break;
+            }
+          }
+        }
+        repack::ContiguousRepackRequest req;
+        req.memory_bytes = mem;
+        req.mem_capacity = mem_capacity;
+        req.target_workers = target;
+        const auto rp = repack::repack_contiguous(req, active);
+        if (!rp.feasible && cfg_.repack_target_workers > 0) {
+          res.oom = true;  // forced pack does not fit (Fig. 4 OOM cells)
+        } else if (rp.feasible && rp.active_workers < active) {
+          // Adopt the consolidated map: trailing stages become empty and
+          // their workers are released; the pipeline continues on a
+          // compacted map over the survivors.
+          std::vector<std::size_t> b(
+              rp.map.boundaries().begin(),
+              rp.map.boundaries().begin() + rp.active_workers + 1);
+          const auto packed = pipeline::StageMap::from_boundaries(b);
+          const auto migration = balance::plan_migration(map, packed, mem);
+          event_time += migration.estimated_time_s(net_);
+          res.overhead.migrate_s += migration.estimated_time_s(net_);
+          map = packed;
+          active = rp.active_workers;
+          ++res.repack_count;
+          // Rebalance within the survivors right away.
+          const auto rb = rebalancer.rebalance(profile, map);
+          map = rb.map;
+        }
+      }
+    }
+
+    // --- execute one iteration on the (possibly rebalanced) map ----------
+    const auto costs = builder_.build(states, map, mb_scale);
+    const auto pipe = pipeline::simulate(cfg_.schedule, costs);
+    iter_time += pipe.makespan_s + dp_allreduce_exposed_s(map, states);
+
+    // Memory accounting (for OOM detection and Fig. 4).
+    {
+      const auto stage_mem = map.stage_loads(mem);
+      const double peak =
+          *std::max_element(stage_mem.begin(), stage_mem.end());
+      res.peak_stage_memory = std::max(res.peak_stage_memory, peak);
+      if (peak > mem_capacity) res.oom = true;
+    }
+
+    // Baseline-specific per-iteration overheads.
+    if (cfg_.mode == BalancingMode::Egeria && engine_ != nullptr &&
+        engine_->is_dynamism_point(iter)) {
+      const double oh = dynamic::FreezingEngine::egeria_check_overhead_s(
+          model_->num_layers());
+      iter_time += oh;
+      res.baseline_overhead_s += oh;
+    }
+    if (cfg_.mode == BalancingMode::Tutel) {
+      const double oh = 5e-5;  // adaptive dispatch bookkeeping
+      iter_time += oh;
+      res.baseline_overhead_s += oh;
+    }
+
+    // --- bookkeeping ------------------------------------------------------
+    res.total_time_s +=
+        iter_time * static_cast<double>(cfg_.sim_stride) + event_time;
+    idleness_stats.add(pipe.avg_idleness());
+    bubble_stats.add(pipe.bubble_ratio());
+    workers_stats.add(static_cast<double>(active));
+
+    IterationSample sample;
+    sample.iter = iter;
+    sample.time_s = iter_time;
+    sample.idleness = pipe.avg_idleness();
+    sample.bubble_ratio = pipe.bubble_ratio();
+    sample.active_workers = active;
+    sample.compute_fraction =
+        engine_ != nullptr ? engine_->compute_fraction(states) : 1.0;
+    res.samples.push_back(sample);
+  }
+
+  const double iters = static_cast<double>(cfg_.iterations);
+  res.tokens_per_sec = tokens_per_iteration() * iters / res.total_time_s;
+  res.avg_idleness = idleness_stats.mean();
+  res.avg_bubble_ratio = bubble_stats.mean();
+  res.avg_active_workers = workers_stats.mean();
+  res.overhead_fraction =
+      res.overhead.total_s() / std::max(1e-12, res.total_time_s);
+  res.final_map = map;
+  return res;
+}
+
+}  // namespace dynmo::runtime

@@ -1,0 +1,146 @@
+// End-to-end training session on the simulated cluster clock.
+//
+// Implements the paper's Figure-2 loop: train → dynamism → profile →
+// balance → (optionally) re-pack → train, over hybrid data + pipeline
+// parallelism.  The session charges every cost through the calibrated
+// hardware models (kernel roofline, alpha-beta network, memory) and
+// *measures* bubbles and idleness from the simulated pipeline timeline.
+//
+// Baseline modes reproduce the paper's comparators:
+//   StaticUniform — Megatron-LM: equal layer counts per stage, fixed.
+//   StaticParam   — DeepSpeed: equal parameter counts per stage, fixed.
+//   Egeria        — freezing-specific: static map + Egeria's own per-check
+//                   reference-model overhead (grows with depth).
+//   Tutel         — MoE-specific: adaptive expert parallelism that removes
+//                   part of the routing imbalance but never moves layers.
+//   DynMo         — the real thing: Partition or Diffusion, by time or by
+//                   params, optional re-packing.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "balance/rebalancer.hpp"
+#include "comm/cost_model.hpp"
+#include "dynamic/dynamism.hpp"
+#include "hw/gpu_spec.hpp"
+#include "model/layer_cost.hpp"
+#include "pipeline/cost_builder.hpp"
+#include "pipeline/schedule.hpp"
+#include "pipeline/stage_map.hpp"
+#include "repack/repack.hpp"
+
+namespace dynmo::runtime {
+
+enum class BalancingMode {
+  StaticUniform,
+  StaticParam,
+  Egeria,
+  Tutel,
+  DynMo,
+};
+
+const char* to_string(BalancingMode m);
+
+struct SessionConfig {
+  int pipeline_stages = 8;
+  int data_parallel = 1;
+  std::size_t micro_batch = 2;
+  int num_microbatches = 4;
+  pipeline::ScheduleKind schedule = pipeline::ScheduleKind::ZbH1;
+  hw::GpuSpec gpu = hw::GpuSpec::h100_sxm5();
+  comm::CostModelConfig net{};
+
+  BalancingMode mode = BalancingMode::DynMo;
+  balance::Algorithm algorithm = balance::Algorithm::Diffusion;
+  balance::BalanceBy balance_by = balance::BalanceBy::Time;
+  /// 0 → the engine's recommended cadence.
+  std::int64_t rebalance_interval = 0;
+
+  bool repack = false;
+  /// ThroughputPreserving — release only workers whose load fits into the
+  ///   remaining ones without raising the current bottleneck (paper §3.4's
+  ///   "without sacrificing training throughput"; used in Fig. 3).
+  /// MemoryFirstFit — the paper's Algorithm 2: consolidate as far as memory
+  ///   capacity allows, accepting slower iterations (Fig. 4 sweeps).
+  enum class RepackPolicy { ThroughputPreserving, MemoryFirstFit };
+  RepackPolicy repack_policy = RepackPolicy::ThroughputPreserving;
+  /// 0 → policy decides; otherwise pack to exactly this many workers
+  /// (Fig. 4 sweeps 8/6/4/2).
+  int repack_target_workers = 0;
+  std::int64_t repack_interval = 1000;
+
+  std::int64_t iterations = 1000;
+  /// Simulate every `sim_stride`-th iteration and extrapolate (the paper's
+  /// 10k-iteration runs are steady-state; stride must divide the dynamism
+  /// cadence to not skip dynamism points).
+  std::int64_t sim_stride = 1;
+
+  /// Fraction of the DP gradient allreduce hidden under backward compute.
+  double dp_overlap = 0.7;
+
+  /// Fraction of layer-migration time hidden under backward compute when
+  /// rebalancing every iteration (the paper couples migration with the
+  /// gradient flow, §3.3.1 / §4.2.1); infrequent rebalances (pruning,
+  /// freezing) run migrations in the open but are rare enough not to
+  /// matter.
+  double migration_overlap = 0.85;
+
+  std::uint64_t seed = 0x5eed;
+};
+
+struct IterationSample {
+  std::int64_t iter = 0;
+  double time_s = 0.0;
+  double idleness = 0.0;
+  double bubble_ratio = 0.0;
+  int active_workers = 0;
+  double compute_fraction = 1.0;
+};
+
+struct SessionResult {
+  double total_time_s = 0.0;
+  double tokens_per_sec = 0.0;        ///< aggregate over DP replicas
+  double avg_idleness = 0.0;          ///< paper Fig. 1 metric
+  double avg_bubble_ratio = 0.0;
+  double avg_active_workers = 0.0;    ///< paper Fig. 4 metric
+  double peak_stage_memory = 0.0;
+  bool oom = false;                   ///< some stage exceeded GPU memory
+  int rebalance_count = 0;
+  int repack_count = 0;
+  balance::OverheadBreakdown overhead;       ///< DynMo's own total overhead
+  double baseline_overhead_s = 0.0;          ///< e.g. Egeria's bookkeeping
+  double overhead_fraction = 0.0;            ///< overhead / total time
+  pipeline::StageMap final_map;
+  std::vector<IterationSample> samples;
+};
+
+class TrainingSession {
+ public:
+  /// `engine` may be null (fully static model, e.g. the dense-attention or
+  /// no-early-exit baselines).  The session owns neither the model nor the
+  /// engine.
+  TrainingSession(const model::ModelDesc& model, SessionConfig cfg,
+                  dynamic::DynamismEngine* engine);
+
+  SessionResult run();
+
+  /// Tokens processed per iteration across all DP replicas.
+  double tokens_per_iteration() const;
+
+ private:
+  std::int64_t effective_rebalance_interval() const;
+  double dp_allreduce_exposed_s(const pipeline::StageMap& map,
+                                std::span<const model::LayerState> states) const;
+  void apply_tutel_mitigation(std::span<model::LayerState> states) const;
+
+  const model::ModelDesc* model_;
+  SessionConfig cfg_;
+  dynamic::DynamismEngine* engine_;
+  model::LayerCostModel layer_costs_;
+  comm::CostModel net_;
+  pipeline::CostBuilder builder_;
+};
+
+}  // namespace dynmo::runtime

@@ -1,0 +1,329 @@
+#include "runtime/threaded.hpp"
+
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "dynamic/distributed_pruning.hpp"
+
+namespace dynmo::runtime {
+
+namespace {
+
+constexpr comm::Tag kActFwdTag = comm::kFirstUserTag + 1;
+constexpr comm::Tag kActBwdTag = comm::kFirstUserTag + 2;
+constexpr comm::Tag kStatsTag = comm::kFirstUserTag + 3;
+/// Migration tags live in their own positive band so a slow sender can
+/// never alias a later phase's prune/collective traffic.
+constexpr comm::Tag kMigrationBase = comm::kFirstUserTag + 100;
+
+std::uint64_t checksum_floats(std::span<const float> xs) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(float));
+    std::memcpy(&bits, &xs[i], sizeof(bits));
+    h = hash_mix(h, bits, i);
+  }
+  return h;
+}
+
+/// Deterministic initial weights for layer l — identical no matter which
+/// worker materializes them.
+tensor::Tensor initial_weights(std::size_t layer, const ThreadedConfig& cfg) {
+  Rng rng(hash_mix(cfg.seed, layer, 0x11a7e));
+  return tensor::Tensor::random(cfg.hidden, cfg.hidden, rng,
+                                1.0f / static_cast<float>(cfg.hidden));
+}
+
+/// Deterministic input activations for (iteration, microbatch).
+tensor::Tensor make_input(std::int64_t iter, int mb,
+                          const ThreadedConfig& cfg) {
+  Rng rng(hash_mix(cfg.seed ^ 0x1239, static_cast<std::uint64_t>(iter),
+                   static_cast<std::uint64_t>(mb)));
+  return tensor::Tensor::random(cfg.batch_rows, cfg.hidden, rng, 1.0f);
+}
+
+void send_tensor(const comm::Communicator& c, int dst, comm::Tag tag,
+                 const tensor::Tensor& t) {
+  comm::Packer p;
+  p.put<std::uint64_t>(t.rows());
+  p.put<std::uint64_t>(t.cols());
+  p.put_span(t.data());
+  c.send(dst, tag, p.take());
+}
+
+tensor::Tensor recv_tensor(const comm::Communicator& c, int src,
+                           comm::Tag tag) {
+  const comm::Message m = c.recv(src, tag);
+  comm::Unpacker u(m.payload);
+  const auto rows = u.get<std::uint64_t>();
+  const auto cols = u.get<std::uint64_t>();
+  const auto data = u.get_vector<float>();
+  DYNMO_CHECK(data.size() == rows * cols, "tensor payload shape mismatch");
+  tensor::Tensor t(rows, cols);
+  std::copy(data.begin(), data.end(), t.data().begin());
+  return t;
+}
+
+struct WorkerStats {
+  double busy_s = 0.0;
+  std::uint64_t output_checksum = 0;
+  std::uint64_t bytes_migrated = 0;
+  int iterations_run = 0;
+};
+
+int prev_hosting_stage(const pipeline::StageMap& map, int s) {
+  for (int p = s - 1; p >= 0; --p) {
+    if (!map.stage_empty(p)) return p;
+  }
+  return -1;
+}
+
+int next_hosting_stage(const pipeline::StageMap& map, int s) {
+  for (int n = s + 1; n < map.num_stages(); ++n) {
+    if (!map.stage_empty(n)) return n;
+  }
+  return -1;
+}
+
+int first_hosting_stage(const pipeline::StageMap& map) {
+  for (int s = 0; s < map.num_stages(); ++s) {
+    if (!map.stage_empty(s)) return s;
+  }
+  return -1;
+}
+
+}  // namespace
+
+ThreadedPipeline::ThreadedPipeline(ThreadedConfig cfg) : cfg_(cfg) {
+  DYNMO_CHECK(cfg.workers > 0, "need workers");
+  DYNMO_CHECK(cfg.num_layers > 0, "need layers");
+}
+
+ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
+  DYNMO_CHECK(!phases.empty(), "empty plan");
+  for (const auto& ph : phases) {
+    DYNMO_CHECK(ph.map.num_stages() == cfg_.workers,
+                "every phase map must span all initial workers");
+    DYNMO_CHECK(ph.map.num_layers() == cfg_.num_layers,
+                "phase map layer count mismatch");
+    if (ph.active) {
+      DYNMO_CHECK(static_cast<int>(ph.active->size()) == cfg_.workers,
+                  "active mask size mismatch");
+      DYNMO_CHECK((*ph.active)[0], "rank 0 must survive re-packing");
+    }
+  }
+
+  comm::World world(cfg_.workers);
+  const ThreadedConfig cfg = cfg_;
+
+  const auto worker_main = [&world, &phases, cfg](int rank) {
+    const comm::Communicator wcomm = world.world_comm(rank);
+    std::optional<comm::Communicator> coll = wcomm;  // collective group
+    std::map<std::size_t, tensor::Tensor> weights;
+    WorkerStats stats;
+    std::int64_t global_it = 0;  // consistent input stream across phases
+
+    // Materialize phase-0 ownership.
+    {
+      const auto& m0 = phases.front().map;
+      for (std::size_t l = m0.stage_begin(rank); l < m0.stage_end(rank);
+           ++l) {
+        weights.emplace(l, initial_weights(l, cfg));
+      }
+    }
+
+    bool released = false;
+    for (std::size_t pi = 0; pi < phases.size() && !released; ++pi) {
+      const auto& phase = phases[pi];
+      const auto& map = phase.map;
+
+      // 1. Migration from the previous phase's placement.
+      if (pi > 0) {
+        const auto& prev = phases[pi - 1].map;
+        for (std::size_t l = 0; l < cfg.num_layers; ++l) {
+          const int src = prev.stage_of(l);
+          const int dst = map.stage_of(l);
+          if (src == dst) continue;
+          if (rank == src) {
+            auto it = weights.find(l);
+            DYNMO_CHECK(it != weights.end(),
+                        "migration source lacks layer " << l);
+            const auto t0 = std::chrono::steady_clock::now();
+            send_tensor(wcomm, dst, kMigrationBase + static_cast<comm::Tag>(l),
+                        it->second);
+            stats.bytes_migrated += it->second.bytes();
+            weights.erase(it);
+            stats.busy_s += std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+          } else if (rank == dst) {
+            weights.emplace(
+                l, recv_tensor(wcomm, src,
+                               kMigrationBase + static_cast<comm::Tag>(l)));
+          }
+        }
+      }
+
+      // 2. Worker release (re-packing): fence survivors off, exit if freed.
+      if (phase.active) {
+        DYNMO_CHECK(coll.has_value(), "released worker reused");
+        const bool mine = (*phase.active)[static_cast<std::size_t>(rank)];
+        // Split over the *current* collective group; all members call.
+        std::optional<comm::Communicator> next;
+        if (coll->rank() >= 0) {
+          next = coll->split(mine ? 0 : -1, coll->rank());
+        }
+        coll = next;
+        if (!mine) {
+          DYNMO_CHECK(weights.empty(),
+                      "released worker still owns layers");
+          released = true;
+          break;
+        }
+      }
+
+      // 3. Distributed global pruning (Algorithm 1) over the collective
+      // group.
+      if (phase.prune_sparsity) {
+        DYNMO_CHECK(coll.has_value(), "pruning needs a collective group");
+        std::vector<float> flat;
+        std::vector<std::pair<std::size_t, std::size_t>> extents;
+        for (auto& [l, w] : weights) {
+          extents.emplace_back(l, w.data().size());
+          flat.insert(flat.end(), w.data().begin(), w.data().end());
+        }
+        const auto pr = dynamic::global_magnitude_prune(*coll, flat,
+                                                        *phase.prune_sparsity);
+        dynamic::apply_prune_mask(flat, pr.keep_indices);
+        std::size_t off = 0;
+        for (auto& [l, n] : extents) {
+          auto dstspan = weights.at(l).data();
+          std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                    flat.begin() + static_cast<std::ptrdiff_t>(off + n),
+                    dstspan.begin());
+          off += n;
+        }
+      }
+
+      // 4. Pipelined iterations.
+      const int first = first_hosting_stage(map);
+      const int prev = prev_hosting_stage(map, rank);
+      const int next = next_hosting_stage(map, rank);
+      const bool hosting = !map.stage_empty(rank);
+      for (int it = 0; it < phase.iterations; ++it, ++global_it) {
+        if (!hosting) continue;  // pass-through stages idle in this runtime
+        // Forward sweep over microbatches (GPipe-style data flow; real
+        // pipelining emerges from message availability across threads).
+        for (int mb = 0; mb < cfg.microbatches; ++mb) {
+          tensor::Tensor x = (rank == first)
+                                 ? make_input(global_it, mb, cfg)
+                                 : recv_tensor(wcomm, prev, kActFwdTag);
+          const auto t0 = std::chrono::steady_clock::now();
+          for (std::size_t l = map.stage_begin(rank);
+               l < map.stage_end(rank); ++l) {
+            x = tensor::matmul(x, weights.at(l));
+            tensor::relu_inplace(x);
+          }
+          stats.busy_s += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+          if (next >= 0) {
+            send_tensor(wcomm, next, kActFwdTag, x);
+          } else {
+            stats.output_checksum ^= checksum_floats(x.data());
+          }
+        }
+        // Backward sweep (reverse microbatch order).
+        for (int mb = cfg.microbatches - 1; mb >= 0; --mb) {
+          tensor::Tensor g =
+              (next < 0) ? tensor::Tensor(cfg.batch_rows, cfg.hidden, 1.0f)
+                         : recv_tensor(wcomm, next, kActBwdTag);
+          const auto t0 = std::chrono::steady_clock::now();
+          for (std::size_t l = map.stage_end(rank);
+               l-- > map.stage_begin(rank);) {
+            g = tensor::matmul(g, weights.at(l));
+            if (cfg.apply_weight_update) {
+              auto w = weights.at(l).data();
+              const auto decay =
+                  static_cast<float>(1.0 - cfg.learning_rate);
+              for (float& v : w) v *= decay;
+            }
+          }
+          stats.busy_s += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+          if (prev >= 0) send_tensor(wcomm, prev, kActBwdTag, g);
+        }
+        ++stats.iterations_run;
+      }
+    }
+
+    // Final reporting to rank 0 over the world communicator.
+    {
+      comm::Packer p;
+      p.put(stats.busy_s);
+      p.put(stats.output_checksum);
+      p.put(stats.bytes_migrated);
+      p.put(stats.iterations_run);
+      // Per-layer weight checksums + nnz for everything this rank owns.
+      std::vector<std::uint64_t> layer_ids;
+      std::vector<std::uint64_t> sums;
+      std::uint64_t nnz = 0;
+      for (const auto& [l, w] : weights) {
+        layer_ids.push_back(l);
+        sums.push_back(checksum_floats(w.data()));
+        for (float v : w.data()) {
+          if (v != 0.0f) ++nnz;
+        }
+      }
+      p.put(nnz);
+      p.put_vector(layer_ids);
+      p.put_vector(sums);
+      wcomm.send(0, kStatsTag, p.take());  // rank 0 self-delivers
+    }
+  };
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int r = 0; r < cfg_.workers; ++r) {
+    threads.emplace_back(worker_main, r);
+  }
+
+  // Rank "-1" aggregator: main thread reads rank 0's mailbox after joining.
+  for (auto& t : threads) t.join();
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  ThreadedReport report;
+  report.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  report.worker_busy_s.assign(static_cast<std::size_t>(cfg_.workers), 0.0);
+  report.weight_checksums.assign(cfg_.num_layers, 0);
+
+  const comm::Communicator main_comm = world.world_comm(0);
+  for (int r = 0; r < cfg_.workers; ++r) {
+    const comm::Message m = main_comm.recv(r, kStatsTag);
+    comm::Unpacker u(m.payload);
+    const double busy = u.get<double>();
+    const auto osum = u.get<std::uint64_t>();
+    const auto migrated = u.get<std::uint64_t>();
+    const int iters = u.get<int>();
+    const auto nnz = u.get<std::uint64_t>();
+    const auto layer_ids = u.get_vector<std::uint64_t>();
+    const auto sums = u.get_vector<std::uint64_t>();
+    report.worker_busy_s[static_cast<std::size_t>(r)] = busy;
+    report.output_checksum ^= osum;
+    report.bytes_migrated += migrated;
+    report.iterations_run = std::max(report.iterations_run, iters);
+    report.weights_nnz += nnz;
+    for (std::size_t i = 0; i < layer_ids.size(); ++i) {
+      report.weight_checksums[layer_ids[i]] = sums[i];
+    }
+  }
+  return report;
+}
+
+}  // namespace dynmo::runtime

@@ -1,0 +1,90 @@
+#include "tensor/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/thread_pool.hpp"
+
+namespace dynmo::tensor {
+
+CsrMatrix CsrMatrix::from_dense(const Tensor& dense, float abs_threshold) {
+  CsrMatrix m;
+  m.rows_ = dense.rows();
+  m.cols_ = dense.cols();
+  m.row_offsets_.reserve(m.rows_ + 1);
+  m.row_offsets_.push_back(0);
+  for (std::size_t r = 0; r < m.rows_; ++r) {
+    const auto row = dense.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (std::abs(row[c]) >= abs_threshold && row[c] != 0.0f) {
+        m.values_.push_back(row[c]);
+        m.col_indices_.push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+    m.row_offsets_.push_back(static_cast<std::uint32_t>(m.values_.size()));
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::from_dense_with_indices(
+    const Tensor& dense, std::span<const std::uint32_t> keep_flat_indices) {
+  std::vector<std::uint32_t> sorted(keep_flat_indices.begin(),
+                                    keep_flat_indices.end());
+  std::sort(sorted.begin(), sorted.end());
+  CsrMatrix m;
+  m.rows_ = dense.rows();
+  m.cols_ = dense.cols();
+  m.row_offsets_.assign(m.rows_ + 1, 0);
+  m.values_.reserve(sorted.size());
+  m.col_indices_.reserve(sorted.size());
+  std::size_t cur_row = 0;
+  for (std::uint32_t flat : sorted) {
+    const std::size_t r = flat / m.cols_;
+    const std::size_t c = flat % m.cols_;
+    DYNMO_CHECK(r < m.rows_, "keep index " << flat << " out of range");
+    while (cur_row < r) {
+      m.row_offsets_[++cur_row] = static_cast<std::uint32_t>(m.values_.size());
+    }
+    m.values_.push_back(dense.at(r, c));
+    m.col_indices_.push_back(static_cast<std::uint32_t>(c));
+  }
+  while (cur_row < m.rows_) {
+    m.row_offsets_[++cur_row] = static_cast<std::uint32_t>(m.values_.size());
+  }
+  return m;
+}
+
+Tensor CsrMatrix::to_dense() const {
+  Tensor t(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::uint32_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      t.at(r, col_indices_[i]) = values_[i];
+    }
+  }
+  return t;
+}
+
+Tensor CsrMatrix::spmm_left(const Tensor& x) const {
+  DYNMO_CHECK(x.cols() == rows_, "spmm shape mismatch: x is "
+                                     << x.rows() << 'x' << x.cols()
+                                     << ", A is " << rows_ << 'x' << cols_);
+  Tensor y(x.rows(), cols_);
+  ThreadPool::global().parallel_for(0, x.rows(), [&](std::size_t r0,
+                                                     std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const auto xrow = x.row(i);
+      auto yrow = y.row(i);
+      for (std::size_t kk = 0; kk < rows_; ++kk) {
+        const float xik = xrow[kk];
+        if (xik == 0.0f) continue;
+        for (std::uint32_t p = row_offsets_[kk]; p < row_offsets_[kk + 1];
+             ++p) {
+          yrow[col_indices_[p]] += xik * values_[p];
+        }
+      }
+    }
+  });
+  return y;
+}
+
+}  // namespace dynmo::tensor

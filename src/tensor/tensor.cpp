@@ -1,0 +1,96 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/thread_pool.hpp"
+
+namespace dynmo::tensor {
+
+Tensor Tensor::random(std::size_t rows, std::size_t cols, Rng& rng,
+                      float scale) {
+  Tensor t(rows, cols);
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.normal(0.0, 1.0)) * scale;
+  }
+  return t;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  DYNMO_CHECK(a.cols() == b.rows(),
+              "matmul shape mismatch: " << a.rows() << 'x' << a.cols()
+                                        << " * " << b.rows() << 'x'
+                                        << b.cols());
+  Tensor c(a.rows(), b.cols());
+  const std::size_t n = b.cols();
+  const std::size_t k = a.cols();
+  ThreadPool::global().parallel_for(0, a.rows(), [&](std::size_t r0,
+                                                     std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const auto arow = a.row(i);
+      auto crow = c.row(i);
+      // i-k-j loop order: unit-stride inner loop over both B and C.
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) continue;  // free win once pruning kicks in
+        const auto brow = b.row(kk);
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  });
+  return c;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, std::span<const float> bias) {
+  Tensor y = matmul(x, w);
+  if (!bias.empty()) {
+    DYNMO_CHECK(bias.size() == y.cols(), "bias length mismatch");
+    for (std::size_t i = 0; i < y.rows(); ++i) {
+      auto row = y.row(i);
+      for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias[j];
+    }
+  }
+  return y;
+}
+
+void relu_inplace(Tensor& t) {
+  for (float& v : t.data()) v = std::max(v, 0.0f);
+}
+
+double frobenius_norm(const Tensor& t) {
+  double acc = 0.0;
+  for (float v : t.data()) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double abs_sum(std::span<const float> xs) {
+  double acc = 0.0;
+  for (float v : xs) acc += std::abs(static_cast<double>(v));
+  return acc;
+}
+
+std::vector<std::uint32_t> topk_abs_indices(std::span<const float> xs,
+                                            std::size_t k) {
+  k = std::min(k, xs.size());
+  std::vector<std::uint32_t> idx(xs.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                   idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return std::abs(xs[a]) > std::abs(xs[b]);
+                   });
+  idx.resize(k);
+  return idx;
+}
+
+float kth_abs_value(std::span<const float> xs, std::size_t k) {
+  DYNMO_CHECK(k >= 1 && k <= xs.size(),
+              "kth_abs_value: k=" << k << " size=" << xs.size());
+  std::vector<float> mags(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) mags[i] = std::abs(xs[i]);
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   mags.end(), std::greater<>());
+  return mags[k - 1];
+}
+
+}  // namespace dynmo::tensor

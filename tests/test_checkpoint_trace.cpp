@@ -1,0 +1,150 @@
+// Tests for checkpointing (incl. the §3.4.2 checkpoint-coordinated repack
+// restart path) and timeline tracing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "pipeline/trace.hpp"
+#include "runtime/checkpoint.hpp"
+
+namespace dynmo {
+namespace {
+
+runtime::Checkpoint sample_checkpoint() {
+  runtime::Checkpoint ckpt;
+  ckpt.iteration = 4242;
+  ckpt.stage_map = pipeline::StageMap::from_boundaries({0, 3, 5, 8});
+  ckpt.layer_states.resize(8);
+  ckpt.layer_states[1].frozen = true;
+  ckpt.layer_states[2].weight_density = 0.1;
+  ckpt.layer_states[2].spmm_backend = hw::SpmmBackend::Sputnik;
+  ckpt.layer_states[5].token_fraction = 0.25;
+  Rng rng(9);
+  ckpt.weights.emplace(0, tensor::Tensor::random(4, 4, rng));
+  ckpt.weights.emplace(7, tensor::Tensor::random(6, 2, rng));
+  return ckpt;
+}
+
+TEST(Checkpoint, SerializeRoundTrip) {
+  const auto ckpt = sample_checkpoint();
+  const auto bytes = ckpt.serialize();
+  const auto back = runtime::Checkpoint::deserialize(bytes);
+  EXPECT_EQ(back, ckpt);
+  EXPECT_EQ(back.iteration, 4242);
+  EXPECT_TRUE(back.layer_states[1].frozen);
+  EXPECT_EQ(back.weights.at(7).cols(), 2u);
+}
+
+TEST(Checkpoint, DetectsCorruption) {
+  auto bytes = sample_checkpoint().serialize();
+  bytes[bytes.size() / 2] ^= std::byte{0x01};
+  EXPECT_THROW((void)runtime::Checkpoint::deserialize(bytes), Error);
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  auto bytes = sample_checkpoint().serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)runtime::Checkpoint::deserialize(bytes), Error);
+}
+
+TEST(Checkpoint, RejectsForeignMagic) {
+  std::vector<std::byte> junk(64, std::byte{0x5a});
+  EXPECT_THROW((void)runtime::Checkpoint::deserialize(junk), Error);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "dynmo_ckpt_test.bin";
+  const auto ckpt = sample_checkpoint();
+  ckpt.save(path.string());
+  const auto back = runtime::Checkpoint::load(path.string());
+  EXPECT_EQ(back, ckpt);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, ReshardForRestartRebalances) {
+  // §3.4.2: restart onto fewer workers re-partitions for free.
+  auto ckpt = sample_checkpoint();
+  const std::vector<double> weights = {1, 1, 1, 1, 4, 1, 1, 1};
+  const auto resharded = runtime::reshard_for_restart(ckpt, 2, weights);
+  EXPECT_EQ(resharded.stage_map.num_stages(), 2);
+  EXPECT_EQ(resharded.stage_map.num_layers(), 8u);
+  // Dynamic state and weights untouched.
+  EXPECT_TRUE(resharded.layer_states[1].frozen);
+  EXPECT_EQ(resharded.weights.size(), 2u);
+  // The heavy layer 4 must not share a stage with all the others.
+  const auto loads = resharded.stage_map.stage_loads(weights);
+  EXPECT_LE(*std::max_element(loads.begin(), loads.end()), 7.0);
+}
+
+TEST(Trace, EventsCoverAllWork) {
+  pipeline::StageCosts costs(3, 4);
+  for (int s = 0; s < 3; ++s) costs.set_stage(s, 1.0, 0.5, 0.5);
+  const auto [result, trace] =
+      pipeline::simulate_traced(pipeline::ScheduleKind::ZbH1, costs);
+  EXPECT_EQ(trace.makespan_s, result.makespan_s);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_NEAR(trace.stage_busy_s(s),
+                result.busy_s[static_cast<std::size_t>(s)], 1e-12);
+  }
+  // ZB emits F, B and W events.
+  bool f = false, b = false, w = false;
+  for (const auto& e : trace.events) {
+    f |= e.kind == 'F';
+    b |= e.kind == 'B';
+    w |= e.kind == 'W';
+    EXPECT_GE(e.start_s, 0.0);
+    EXPECT_LE(e.start_s + e.duration_s, result.makespan_s + 1e-12);
+  }
+  EXPECT_TRUE(f && b && w);
+}
+
+TEST(Trace, EventsNeverOverlapWithinStage) {
+  pipeline::StageCosts costs(4, 8);
+  Rng rng(3);
+  for (int s = 0; s < 4; ++s) {
+    for (int mb = 0; mb < 8; ++mb) {
+      costs.fwd(s, mb) = rng.uniform(0.1, 1.0);
+      costs.bwd_input(s, mb) = rng.uniform(0.1, 1.0);
+      costs.bwd_weight(s, mb) = rng.uniform(0.1, 1.0);
+    }
+  }
+  const auto [result, trace] =
+      pipeline::simulate_traced(pipeline::ScheduleKind::OneFOneB, costs);
+  for (int s = 0; s < 4; ++s) {
+    std::vector<std::pair<double, double>> spans;
+    for (const auto& e : trace.events) {
+      if (e.stage == s) spans.emplace_back(e.start_s, e.duration_s);
+    }
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first,
+                spans[i - 1].first + spans[i - 1].second - 1e-12);
+    }
+  }
+}
+
+TEST(Trace, ChromeJsonWellFormedish) {
+  pipeline::StageCosts costs(2, 2);
+  costs.set_stage(0, 1.0, 1.0, 0.0);
+  costs.set_stage(1, 1.0, 1.0, 0.0);
+  const auto [result, trace] =
+      pipeline::simulate_traced(pipeline::ScheduleKind::GPipe, costs);
+  const auto json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  // File write path.
+  const auto path = std::filesystem::temp_directory_path() /
+                    "dynmo_trace_test.json";
+  trace.write_chrome_json(path.string());
+  EXPECT_GT(std::filesystem::file_size(path), 10u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dynmo

@@ -1,0 +1,175 @@
+// Unit tests for core/: rng, stats, units, error handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/units.hpp"
+
+namespace dynmo {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIndependentStreams) {
+  Rng root(7);
+  Rng s1 = root.split(1);
+  Rng s2 = root.split(2);
+  Rng s1b = Rng(7).split(1);
+  EXPECT_EQ(s1(), s1b());
+  EXPECT_NE(s1(), s2());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.03);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ZipfSkewsLow) {
+  Rng rng(13);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(16, 1.2)];
+  EXPECT_GT(counts[0], counts[8]);
+  EXPECT_GT(counts[0], counts[15]);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniformish) {
+  Rng rng(14);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.zipf(8, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(15);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, CategoricalThrowsOnAllZero) {
+  Rng rng(16);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW((void)rng.categorical(w), Error);
+}
+
+TEST(RunningStats, MatchesBatch) {
+  Rng rng(17);
+  RunningStats st;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    st.add(x);
+    xs.push_back(x);
+  }
+  EXPECT_NEAR(st.mean(), mean_of(xs), 1e-9);
+  EXPECT_NEAR(st.stddev(), stddev_of(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(st.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(st.max(), max_of(xs));
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(18);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50), 2.5);
+}
+
+TEST(Stats, LoadImbalanceEq2) {
+  // Paper Eq. (2): (Lmax - Lmin) / mean(L).
+  std::vector<double> loads = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(load_imbalance(loads), (6.0 - 2.0) / 4.0, 1e-12);
+  std::vector<double> balanced = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(load_imbalance(balanced), 0.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({}), 0.0);
+}
+
+TEST(Stats, MaxOverMean) {
+  std::vector<double> loads = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(max_over_mean(loads), 1.5);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2 KiB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(0.002), "2 ms");
+  EXPECT_EQ(format_seconds(3.0), "3 s");
+}
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    DYNMO_CHECK(1 == 2, "value " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("42"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(DYNMO_CHECK(true, "never"));
+}
+
+}  // namespace
+}  // namespace dynmo

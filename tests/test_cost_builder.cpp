@@ -1,0 +1,144 @@
+// Tests for the pipeline cost builder and the dynmo:: facade.
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "dynmo/dynmo.hpp"
+#include "pipeline/cost_builder.hpp"
+
+namespace dynmo {
+namespace {
+
+pipeline::CostBuilder make_builder(const model::ModelDesc& m,
+                                   std::size_t micro_batch = 2,
+                                   int microbatches = 4) {
+  return pipeline::CostBuilder(
+      m, model::LayerCostModel{}, comm::CostModel{},
+      pipeline::CostBuilderConfig{micro_batch, microbatches, 0});
+}
+
+TEST(CostBuilder, LayerTimesMatchModel) {
+  const auto m = model::make_gpt({.num_blocks = 8,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  const auto builder = make_builder(m);
+  std::vector<model::LayerState> states(m.num_layers());
+  const auto times = builder.layer_times(states);
+  ASSERT_EQ(times.size(), 8u);
+  model::LayerCostModel lc{};
+  for (std::size_t l = 0; l < 8; ++l) {
+    EXPECT_DOUBLE_EQ(times[l].forward_s,
+                     lc.layer_times(m.layers[l], states[l], 2).forward_s);
+  }
+  const auto totals = builder.layer_total_seconds(states);
+  for (std::size_t l = 0; l < 8; ++l) {
+    EXPECT_DOUBLE_EQ(totals[l], times[l].total_s());
+  }
+}
+
+TEST(CostBuilder, StageCostsSumLayerTimes) {
+  const auto m = model::make_gpt({.num_blocks = 8,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  const auto builder = make_builder(m);
+  std::vector<model::LayerState> states(m.num_layers());
+  const auto map = pipeline::StageMap::uniform(8, 4);
+  const auto costs = builder.build(states, map);
+  const auto times = builder.layer_times(states);
+  for (int s = 0; s < 4; ++s) {
+    double fwd = 0.0;
+    for (std::size_t l = map.stage_begin(s); l < map.stage_end(s); ++l) {
+      fwd += times[l].forward_s;
+    }
+    EXPECT_NEAR(costs.fwd(s, 0), fwd, 1e-12);
+  }
+  // Send costs populated for all internal boundaries.
+  for (int s = 0; s + 1 < 4; ++s) EXPECT_GT(costs.send(s), 0.0);
+}
+
+TEST(CostBuilder, MicrobatchScaleHookApplies) {
+  const auto m = model::make_gpt({.num_blocks = 4,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  const auto builder = make_builder(m);
+  std::vector<model::LayerState> states(m.num_layers());
+  const auto map = pipeline::StageMap::uniform(4, 2);
+  const auto costs = builder.build(
+      states, map, [](std::size_t, int mb) { return mb == 0 ? 2.0 : 1.0; });
+  EXPECT_NEAR(costs.fwd(0, 0), 2.0 * costs.fwd(0, 1), 1e-12);
+}
+
+TEST(CostBuilder, MemoryScalesWithStageDepth) {
+  const auto m = model::make_gpt({.num_blocks = 8,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  const auto builder = make_builder(m, 2, 16);
+  std::vector<model::LayerState> states(m.num_layers());
+  const auto map = pipeline::StageMap::uniform(8, 4);
+  const auto mem = builder.layer_memory_bytes(states, map);
+  // Earlier stages keep more in-flight microbatches resident under 1F1B.
+  EXPECT_GT(mem[0], mem[7]);
+}
+
+TEST(CostBuilder, RejectsMismatchedStates) {
+  const auto m = model::make_gpt({.num_blocks = 8,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  const auto builder = make_builder(m);
+  std::vector<model::LayerState> wrong(3);
+  EXPECT_THROW((void)builder.layer_times(wrong), Error);
+}
+
+TEST(Facade, MakeEngineCoversAllCases) {
+  const auto gpt = model::make_gpt({.num_blocks = 8,
+                                    .include_embedding = false,
+                                    .include_lm_head = false});
+  const auto moe = model::make_moe(model::llama_moe_3_5b_config(), "m");
+  Options opt;
+  EXPECT_EQ(make_engine(UseCase::Static, gpt, opt), nullptr);
+  for (UseCase uc : {UseCase::GradualPruning, UseCase::LayerFreezing,
+                     UseCase::SparseAttention, UseCase::EarlyExit,
+                     UseCase::MixtureOfDepths}) {
+    const auto engine = make_engine(uc, gpt, opt);
+    ASSERT_NE(engine, nullptr) << to_string(uc);
+    EXPECT_FALSE(engine->name().empty());
+    EXPECT_GE(engine->recommended_rebalance_interval(), 1);
+  }
+  EXPECT_NE(make_engine(UseCase::Moe, moe, opt), nullptr);
+}
+
+TEST(Facade, ToStringRoundTrip) {
+  EXPECT_STREQ(to_string(UseCase::Moe), "moe");
+  EXPECT_STREQ(to_string(UseCase::EarlyExit), "early_exit");
+  EXPECT_STREQ(runtime::to_string(runtime::BalancingMode::DynMo), "dynmo");
+  EXPECT_STREQ(balance::to_string(balance::Algorithm::Partition),
+               "partition");
+  EXPECT_STREQ(balance::to_string(balance::BalanceBy::Time), "by_time");
+  EXPECT_STREQ(pipeline::to_string(pipeline::ScheduleKind::ZbH1), "zb-h1");
+}
+
+TEST(Facade, SessionRunsEveryUseCaseEndToEnd) {
+  Options opt;
+  opt.session.pipeline_stages = 4;
+  opt.session.num_microbatches = 8;
+  opt.session.iterations = 100;
+  opt.session.sim_stride = 20;
+  opt.session.rebalance_interval = 20;
+  opt.session.mode = runtime::BalancingMode::DynMo;
+  opt.moe.tokens_per_microbatch = 256;
+  for (UseCase uc : {UseCase::Static, UseCase::GradualPruning,
+                     UseCase::LayerFreezing, UseCase::SparseAttention,
+                     UseCase::EarlyExit, UseCase::MixtureOfDepths}) {
+    const auto m = model::make_gpt({.num_blocks = 8,
+                                    .include_embedding = false,
+                                    .include_lm_head = false});
+    Session s(m, uc, opt);
+    const auto r = s.run();
+    EXPECT_GT(r.tokens_per_sec, 0.0) << to_string(uc);
+  }
+  const auto moe = model::make_moe(model::llama_moe_3_5b_config(), "m");
+  Session s(moe, UseCase::Moe, opt);
+  EXPECT_GT(s.run().tokens_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace dynmo

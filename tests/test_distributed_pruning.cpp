@@ -1,0 +1,145 @@
+// Property tests for distributed global magnitude pruning (Algorithm 1):
+// the distributed result must equal single-process global top-k exactly,
+// for any rank count and any shard-size distribution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "core/rng.hpp"
+#include "dynamic/distributed_pruning.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dynmo::dynamic {
+namespace {
+
+struct ShardedRun {
+  std::vector<std::vector<float>> shards;
+  std::vector<GlobalPruneResult> results;  // per rank
+};
+
+ShardedRun run_distributed(int ranks, const std::vector<std::size_t>& sizes,
+                           double sparsity, std::uint64_t seed) {
+  ShardedRun run;
+  run.shards.resize(static_cast<std::size_t>(ranks));
+  Rng rng(seed);
+  for (int r = 0; r < ranks; ++r) {
+    auto& shard = run.shards[static_cast<std::size_t>(r)];
+    shard.resize(sizes[static_cast<std::size_t>(r)]);
+    for (auto& v : shard) v = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  run.results.resize(static_cast<std::size_t>(ranks));
+  comm::World world(ranks);
+  std::vector<std::thread> ts;
+  for (int r = 0; r < ranks; ++r) {
+    ts.emplace_back([&world, &run, r, sparsity] {
+      comm::Communicator c = world.world_comm(r);
+      run.results[static_cast<std::size_t>(r)] = global_magnitude_prune(
+          c, run.shards[static_cast<std::size_t>(r)], sparsity);
+    });
+  }
+  for (auto& t : ts) t.join();
+  return run;
+}
+
+/// Single-process reference: global top-k over the concatenation.
+std::vector<bool> reference_keep_mask(
+    const std::vector<std::vector<float>>& shards, double sparsity) {
+  std::vector<float> all;
+  for (const auto& s : shards) all.insert(all.end(), s.begin(), s.end());
+  const auto k = static_cast<std::size_t>(
+      std::ceil((1.0 - sparsity) * static_cast<double>(all.size())));
+  const auto idx = tensor::topk_abs_indices(all, k);
+  std::vector<bool> keep(all.size(), false);
+  for (auto i : idx) keep[i] = true;
+  return keep;
+}
+
+class DistributedPruneSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(DistributedPruneSweep, MatchesSingleProcessTopK) {
+  const auto [ranks, sparsity] = GetParam();
+  // Uneven shard sizes, including a tiny one.
+  std::vector<std::size_t> sizes;
+  Rng rng(static_cast<std::uint64_t>(ranks * 1000 +
+                                     static_cast<int>(sparsity * 100)));
+  for (int r = 0; r < ranks; ++r) {
+    sizes.push_back(20 + rng.uniform_int(200));
+  }
+  if (ranks > 1) sizes[1] = 3;
+
+  const auto run = run_distributed(ranks, sizes, sparsity, 99);
+  const auto ref = reference_keep_mask(run.shards, sparsity);
+
+  // Count kept across ranks == reference count (ties broken differently
+  // between nth_element runs can swap equal magnitudes, but Gaussians have
+  // no exact ties, so the sets must match exactly).
+  std::size_t offset = 0;
+  std::size_t kept_total = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const auto& res = run.results[static_cast<std::size_t>(r)];
+    kept_total += res.keep_indices.size();
+    for (auto li : res.keep_indices) {
+      EXPECT_TRUE(ref[offset + li])
+          << "rank " << r << " kept an index the reference pruned";
+    }
+    offset += sizes[static_cast<std::size_t>(r)];
+  }
+  const auto ref_kept = static_cast<std::size_t>(
+      std::count(ref.begin(), ref.end(), true));
+  EXPECT_EQ(kept_total, ref_kept);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DistributedPruneSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.9, 0.99)));
+
+TEST(DistributedPrune, AllRanksAgreeOnThreshold) {
+  const auto run = run_distributed(4, {64, 64, 64, 64}, 0.5, 7);
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(run.results[static_cast<std::size_t>(r)].threshold,
+                     run.results[0].threshold);
+  }
+  EXPECT_GT(run.results[0].threshold, 0.0);
+}
+
+TEST(DistributedPrune, GlobalKeptCountsReported) {
+  const auto run = run_distributed(3, {50, 50, 50}, 0.8, 8);
+  for (const auto& res : run.results) {
+    EXPECT_EQ(res.global_kept, 30u);  // ceil(0.2 * 150)
+  }
+}
+
+TEST(DistributedPrune, ZeroSparsityKeepsEverything) {
+  const auto run = run_distributed(2, {10, 20}, 0.0, 9);
+  EXPECT_EQ(run.results[0].keep_indices.size(), 10u);
+  EXPECT_EQ(run.results[1].keep_indices.size(), 20u);
+}
+
+TEST(DistributedPrune, EmptyShardParticipates) {
+  // A rank with no parameters must still be a valid collective member.
+  const auto run = run_distributed(3, {40, 0, 40}, 0.5, 10);
+  EXPECT_TRUE(run.results[1].keep_indices.empty());
+  EXPECT_EQ(run.results[0].keep_indices.size() +
+                run.results[2].keep_indices.size(),
+            40u);
+}
+
+TEST(ApplyPruneMask, ZeroesComplement) {
+  std::vector<float> params = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<std::uint32_t> keep = {1, 3};
+  apply_prune_mask(params, keep);
+  EXPECT_EQ(params, (std::vector<float>{0.0f, 2.0f, 0.0f, 4.0f}));
+}
+
+TEST(ApplyPruneMask, RejectsOutOfRange) {
+  std::vector<float> params = {1.0f};
+  const std::vector<std::uint32_t> keep = {5};
+  EXPECT_THROW(apply_prune_mask(params, keep), Error);
+}
+
+}  // namespace
+}  // namespace dynmo::dynamic

@@ -1,0 +1,88 @@
+// Unit tests for pipeline::StageMap.
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "pipeline/stage_map.hpp"
+
+namespace dynmo::pipeline {
+namespace {
+
+TEST(StageMap, UniformSplitsEvenly) {
+  const auto m = StageMap::uniform(24, 8);
+  EXPECT_EQ(m.num_stages(), 8);
+  EXPECT_EQ(m.num_layers(), 24u);
+  for (int s = 0; s < 8; ++s) EXPECT_EQ(m.stage_size(s), 3u);
+}
+
+TEST(StageMap, UniformDistributesRemainder) {
+  const auto m = StageMap::uniform(10, 4);
+  // 3,3,2,2 — remainders go to the earliest stages.
+  EXPECT_EQ(m.stage_size(0), 3u);
+  EXPECT_EQ(m.stage_size(1), 3u);
+  EXPECT_EQ(m.stage_size(2), 2u);
+  EXPECT_EQ(m.stage_size(3), 2u);
+}
+
+TEST(StageMap, UniformMoreStagesThanLayers) {
+  const auto m = StageMap::uniform(3, 5);
+  EXPECT_EQ(m.active_stages(), 3);
+  EXPECT_EQ(m.num_layers(), 3u);
+}
+
+TEST(StageMap, FromBoundariesValidates) {
+  EXPECT_NO_THROW(StageMap::from_boundaries({0, 2, 2, 5}));
+  EXPECT_THROW(StageMap::from_boundaries({1, 2}), Error);   // must start at 0
+  EXPECT_THROW(StageMap::from_boundaries({0, 3, 2}), Error);  // not sorted
+  EXPECT_THROW(StageMap::from_boundaries({0}), Error);      // no stage
+}
+
+TEST(StageMap, StageOfMapsBoundaries) {
+  const auto m = StageMap::from_boundaries({0, 2, 2, 5});
+  EXPECT_EQ(m.stage_of(0), 0);
+  EXPECT_EQ(m.stage_of(1), 0);
+  EXPECT_EQ(m.stage_of(2), 2);  // stage 1 is empty
+  EXPECT_EQ(m.stage_of(4), 2);
+  EXPECT_THROW((void)m.stage_of(5), Error);
+  EXPECT_TRUE(m.stage_empty(1));
+  EXPECT_EQ(m.active_stages(), 2);
+}
+
+TEST(StageMap, StageLoadsSum) {
+  const auto m = StageMap::from_boundaries({0, 1, 3});
+  const std::vector<double> w = {1.0, 2.0, 4.0};
+  const auto loads = m.stage_loads(w);
+  EXPECT_DOUBLE_EQ(loads[0], 1.0);
+  EXPECT_DOUBLE_EQ(loads[1], 6.0);
+  EXPECT_THROW((void)m.stage_loads(std::vector<double>{1.0}), Error);
+}
+
+TEST(StageMap, GreedyByWeightBalances) {
+  // One huge layer followed by many small: greedy must not lump them all.
+  std::vector<double> w = {10.0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  const auto m = StageMap::greedy_by_weight(w, 3);
+  EXPECT_EQ(m.num_stages(), 3);
+  EXPECT_EQ(m.num_layers(), w.size());
+  const auto loads = m.stage_loads(w);
+  // The heavy layer should sit alone-ish; every stage nonempty.
+  for (int s = 0; s < 3; ++s) EXPECT_GT(m.stage_size(s), 0u);
+  EXPECT_LE(loads[0], 11.0);
+}
+
+TEST(StageMap, GreedyByWeightCoversAllLayers) {
+  for (int stages : {1, 2, 3, 5, 8}) {
+    std::vector<double> w(17, 1.0);
+    const auto m = StageMap::greedy_by_weight(w, stages);
+    EXPECT_EQ(m.num_layers(), 17u);
+    EXPECT_EQ(m.num_stages(), stages);
+  }
+}
+
+TEST(StageMap, EqualityAndToString) {
+  const auto a = StageMap::uniform(6, 2);
+  const auto b = StageMap::from_boundaries({0, 3, 6});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_string(), "[0..3 | 3..6]");
+}
+
+}  // namespace
+}  // namespace dynmo::pipeline
