@@ -67,25 +67,45 @@ DiffusionResult DiffusionBalancer::balance(
   const std::span<const double> w(req.weights);
   const std::span<const double> mem(req.memory_bytes);
   const int S = start.num_stages();
-  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  DYNMO_CHECK(req.capacities.empty() ||
+                  req.capacities.size() == static_cast<std::size_t>(S),
+              "capacity vector covers " << req.capacities.size()
+                                        << " stages, map has " << S);
+  std::vector<double> cap(static_cast<std::size_t>(S), 1.0);
+  if (!req.capacities.empty()) {
+    for (int s = 0; s < S; ++s) {
+      DYNMO_CHECK(req.capacities[static_cast<std::size_t>(s)] > 0.0,
+                  "stage " << s << " has non-positive capacity");
+      cap[static_cast<std::size_t>(s)] =
+          req.capacities[static_cast<std::size_t>(s)];
+    }
+  }
+
+  Boundaries cur{start.boundaries()};
+  std::vector<double> loads(static_cast<std::size_t>(S));
+  std::vector<double> mems(static_cast<std::size_t>(S));
+  // Normalized loads x_s = load_s / c_s: the quantity the weighted
+  // protocol equalizes (identical to loads for uniform capacities).
+  std::vector<double> norm(static_cast<std::size_t>(S));
+  const auto refresh = [&] {
+    for (int s = 0; s < S; ++s) {
+      const auto is = static_cast<std::size_t>(s);
+      loads[is] = cur.stage_load(s, w);
+      mems[is] = cur.stage_mem(s, mem);
+      norm[is] = loads[is] / cap[is];
+    }
+  };
+  refresh();
+
+  const double total =
+      std::accumulate(norm.begin(), norm.end(), 0.0);
   const double gamma = req.gamma > 0.0 ? req.gamma : 1e-3 * total;
   const int max_rounds = req.max_rounds > 0
                              ? req.max_rounds
                              : lemma2_round_bound(S, total, gamma);
 
-  Boundaries cur{start.boundaries()};
-  std::vector<double> loads(static_cast<std::size_t>(S));
-  std::vector<double> mems(static_cast<std::size_t>(S));
-  const auto refresh = [&] {
-    for (int s = 0; s < S; ++s) {
-      loads[static_cast<std::size_t>(s)] = cur.stage_load(s, w);
-      mems[static_cast<std::size_t>(s)] = cur.stage_mem(s, mem);
-    }
-  };
-  refresh();
-
   DiffusionResult res;
-  res.phi_history.push_back(potential(loads));
+  res.phi_history.push_back(potential(norm));
 
   // Two-phase discrete diffusion (first-order scheme on the pipeline path
   // graph).  Phase 1 is the textbook scalar diffusion each stage can run
@@ -99,7 +119,7 @@ DiffusionResult DiffusionBalancer::balance(
   // is what lets load cascade through intermediate stages and makes the
   // scheme converge where naive gap-greedy neighbor exchange stalls.
   constexpr double kAlpha = 0.5;  // optimal FOS weight for a path graph
-  std::vector<double> virt = loads;
+  std::vector<double> virt = norm;
   std::vector<double> edge_flow(static_cast<std::size_t>(std::max(0, S - 1)),
                                 0.0);
 
@@ -123,6 +143,8 @@ DiffusionResult DiffusionBalancer::balance(
             --cur.b[ia + 1];
             loads[ia] -= lw;
             loads[ia + 1] += lw;
+            norm[ia] = loads[ia] / cap[ia];
+            norm[ia + 1] = loads[ia + 1] / cap[ia + 1];
             mems[ia] -= lm;
             mems[ia + 1] += lm;
             edge_flow[ia] -= lw;
@@ -140,6 +162,8 @@ DiffusionResult DiffusionBalancer::balance(
             ++cur.b[ia + 1];
             loads[ia] += lw;
             loads[ia + 1] -= lw;
+            norm[ia] = loads[ia] / cap[ia];
+            norm[ia + 1] = loads[ia + 1] / cap[ia + 1];
             mems[ia] += lm;
             mems[ia + 1] -= lm;
             edge_flow[ia] += lw;
@@ -157,11 +181,11 @@ DiffusionResult DiffusionBalancer::balance(
   // the returned map is the round with the lowest bottleneck, ties broken
   // by phi.
   std::vector<std::size_t> best_b = cur.b;
-  double best_bottleneck = *std::max_element(loads.begin(), loads.end());
+  double best_bottleneck = *std::max_element(norm.begin(), norm.end());
   double best_phi = res.phi_history.front();
   const auto consider_best = [&] {
-    const double bn = *std::max_element(loads.begin(), loads.end());
-    const double phi = potential(loads);
+    const double bn = *std::max_element(norm.begin(), norm.end());
+    const double phi = potential(norm);
     if (bn < best_bottleneck - 1e-15 ||
         (bn <= best_bottleneck + 1e-15 && phi < best_phi)) {
       best_b = cur.b;
@@ -172,13 +196,16 @@ DiffusionResult DiffusionBalancer::balance(
 
   int stagnant = 0;
   for (int r = 0; r < max_rounds; ++r) {
-    // Phase 1: one scalar diffusion sweep; edges integrate carried flow.
+    // Phase 1: one weighted diffusion sweep on the normalized loads; the
+    // load carried over edge (a,a+1) is the normalized flow times the
+    // edge conductance min(c_a, c_{a+1}) (stable since path degree ≤ 2).
     std::vector<double> next = virt;
     for (int a = 0; a + 1 < S; ++a) {
       const auto ia = static_cast<std::size_t>(a);
-      const double f = kAlpha * (virt[ia] - virt[ia + 1]);
-      next[ia] -= f;
-      next[ia + 1] += f;
+      const double c_edge = std::min(cap[ia], cap[ia + 1]);
+      const double f = kAlpha * c_edge * (virt[ia] - virt[ia + 1]);
+      next[ia] -= f / cap[ia];
+      next[ia + 1] += f / cap[ia + 1];
       edge_flow[ia] += f;
     }
     virt = std::move(next);
@@ -192,7 +219,7 @@ DiffusionResult DiffusionBalancer::balance(
     // through transiently worse states, but the achievable balance (what
     // Lemma 2 bounds) improves monotonically.
     res.phi_history.push_back(
-        std::min(res.phi_history.back(), potential(loads)));
+        std::min(res.phi_history.back(), potential(norm)));
     if (res.phi_history.back() <= gamma) {
       res.converged = true;
       break;
@@ -207,8 +234,10 @@ DiffusionResult DiffusionBalancer::balance(
   res.map = pipeline::StageMap::from_boundaries(std::move(best_b));
   if (!res.converged) {
     // Converged-by-granularity still counts if φ is within one max layer
-    // weight of γ per pair.
-    const double max_w = *std::max_element(w.begin(), w.end());
+    // weight of γ per pair (normalized by the smallest capacity, the
+    // stage where one layer moves x the most).
+    const double max_w = *std::max_element(w.begin(), w.end()) /
+                         *std::min_element(cap.begin(), cap.end());
     res.converged = res.phi_history.back() <=
                     gamma + max_w * static_cast<double>(S) *
                                 static_cast<double>(S);

@@ -21,8 +21,15 @@ namespace dynmo::balance {
 struct DiffusionRequest {
   std::vector<double> weights;       ///< per-layer load
   std::vector<double> memory_bytes;  ///< per-layer memory (may be empty)
+  /// Per-stage relative capacity (compute throughput).  Empty → uniform.
+  /// When set, the protocol diffuses *normalized* loads x_s = load_s / c_s
+  /// (weighted diffusion with edge conductance min(c_a, c_b)), so stages
+  /// converge to loads proportional to capacity — what a node of 8 GPUs
+  /// vs. 4, or an H100 vs. an A100, actually wants.  φ, γ, and the
+  /// bottleneck are all measured on x.
+  std::vector<double> capacities;
   double mem_capacity = 0.0;         ///< per-stage cap; <=0 → unconstrained
-  double gamma = 0.0;     ///< convergence threshold on φ; <=0 → 1e-3·Σw
+  double gamma = 0.0;     ///< convergence threshold on φ; <=0 → 1e-3·Σx
   int max_rounds = 0;     ///< 0 → the Lemma-2 bound for this instance
 };
 

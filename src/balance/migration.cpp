@@ -13,15 +13,18 @@ double MigrationPlan::total_bytes() const {
   return acc;
 }
 
-double MigrationPlan::estimated_time_s(const comm::CostModel& net,
-                                       int first_global_rank) const {
-  // Serialize per endpoint: a rank's migration time is the sum of the
-  // p2p times of every transfer it participates in; the plan completes when
-  // the busiest rank does.
+namespace {
+
+/// Serialize per endpoint: a rank's migration time is the sum of the
+/// p2p times of every transfer it participates in; the plan completes when
+/// the busiest rank does.
+double bottleneck_rank_time(const std::vector<LayerTransfer>& transfers,
+                            const comm::CostModel& net,
+                            auto&& rank_of_stage) {
   std::map<int, double> rank_time;
   for (const auto& t : transfers) {
-    const int src = first_global_rank + t.src_stage;
-    const int dst = first_global_rank + t.dst_stage;
+    const int src = rank_of_stage(t.src_stage);
+    const int dst = rank_of_stage(t.dst_stage);
     const double s =
         net.p2p_time(src, dst, static_cast<std::size_t>(t.bytes));
     rank_time[src] += s;
@@ -30,6 +33,27 @@ double MigrationPlan::estimated_time_s(const comm::CostModel& net,
   double worst = 0.0;
   for (const auto& [rank, s] : rank_time) worst = std::max(worst, s);
   return worst;
+}
+
+}  // namespace
+
+double MigrationPlan::estimated_time_s(const comm::CostModel& net,
+                                       int first_global_rank) const {
+  return bottleneck_rank_time(
+      transfers, net,
+      [first_global_rank](int stage) { return first_global_rank + stage; });
+}
+
+double MigrationPlan::estimated_time_s(
+    const comm::CostModel& net, std::span<const int> stage_to_rank) const {
+  return bottleneck_rank_time(transfers, net, [&](int stage) {
+    DYNMO_CHECK(stage >= 0 &&
+                    static_cast<std::size_t>(stage) < stage_to_rank.size(),
+                "transfer touches stage " << stage << " outside the "
+                                          << stage_to_rank.size()
+                                          << "-stage placement");
+    return stage_to_rank[static_cast<std::size_t>(stage)];
+  });
 }
 
 MigrationPlan plan_migration(const pipeline::StageMap& before,

@@ -7,6 +7,7 @@
 // migration time is the per-rank bottleneck.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "comm/cost_model.hpp"
@@ -29,6 +30,11 @@ struct MigrationPlan {
   /// Wall-clock estimate under per-rank serialization.
   double estimated_time_s(const comm::CostModel& net,
                           int first_global_rank = 0) const;
+  /// Same, but stage s lives on rank stage_to_rank[s] (topology-aware
+  /// placements); each transfer is priced by the link its endpoints
+  /// actually share.
+  double estimated_time_s(const comm::CostModel& net,
+                          std::span<const int> stage_to_rank) const;
 };
 
 /// Diff `before` → `after`; `state_bytes[l]` is what layer l's migration

@@ -74,7 +74,10 @@ RebalanceOutcome Rebalancer::rebalance(
       cfg_.profile_cost_per_worker_s * static_cast<double>(S);
 
   out.migration = plan_migration(current, out.map, profile.memory_bytes);
-  out.overhead.migrate_s = out.migration.estimated_time_s(net_);
+  out.overhead.migrate_s =
+      cfg_.stage_to_rank.empty()
+          ? out.migration.estimated_time_s(net_)
+          : out.migration.estimated_time_s(net_, cfg_.stage_to_rank);
 
   {
     const auto loads = out.map.stage_loads(weights);

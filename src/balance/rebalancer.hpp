@@ -34,6 +34,11 @@ struct RebalanceConfig {
   /// projected bottleneck by at least this fraction.  Prevents migration
   /// churn from chasing profiling noise at every-iteration cadences.
   double min_bottleneck_gain = 0.02;
+  /// Stage s runs on rank stage_to_rank[s] (topology-aware placement);
+  /// empty → stage s is rank s.  Migration costs are priced over these
+  /// ranks, so a cost model with a cluster::Topology link resolver charges
+  /// each move the link it actually crosses.
+  std::vector<int> stage_to_rank{};
 };
 
 struct OverheadBreakdown {

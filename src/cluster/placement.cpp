@@ -1,0 +1,116 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace dynmo::cluster {
+
+double placement_cost_s(const Topology& topo,
+                        std::span<const int> stage_to_rank,
+                        std::size_t activation_bytes) {
+  double acc = 0.0;
+  for (std::size_t s = 0; s + 1 < stage_to_rank.size(); ++s) {
+    acc += topo.p2p_time(stage_to_rank[s], stage_to_rank[s + 1],
+                         activation_bytes);
+  }
+  return acc;
+}
+
+namespace {
+
+Placement finish(const Topology& topo, std::vector<int> ranks,
+                 std::size_t activation_bytes) {
+  Placement p;
+  p.stage_to_rank = std::move(ranks);
+  p.boundary_time_s =
+      placement_cost_s(topo, p.stage_to_rank, activation_bytes);
+  return p;
+}
+
+}  // namespace
+
+Placement place_linear(const Topology& topo, int num_stages,
+                       std::size_t activation_bytes) {
+  DYNMO_CHECK(num_stages > 0 && num_stages <= topo.num_ranks(),
+              num_stages << " stages on " << topo.num_ranks() << " ranks");
+  std::vector<int> ranks(static_cast<std::size_t>(num_stages));
+  std::iota(ranks.begin(), ranks.end(), 0);
+  return finish(topo, std::move(ranks), activation_bytes);
+}
+
+Placement place_round_robin(const Topology& topo, int num_stages,
+                            std::size_t activation_bytes) {
+  DYNMO_CHECK(num_stages > 0 && num_stages <= topo.num_ranks(),
+              num_stages << " stages on " << topo.num_ranks() << " ranks");
+  std::vector<int> ranks;
+  ranks.reserve(static_cast<std::size_t>(num_stages));
+  int local = 0;
+  while (static_cast<int>(ranks.size()) < num_stages) {
+    for (int n = 0; n < topo.num_nodes(); ++n) {
+      if (local >= topo.node_size(n)) continue;
+      ranks.push_back(topo.first_rank(n) + local);
+      if (static_cast<int>(ranks.size()) == num_stages) break;
+    }
+    ++local;
+  }
+  return finish(topo, std::move(ranks), activation_bytes);
+}
+
+Placement place_topology_aware(const Topology& topo, int num_stages,
+                               std::size_t activation_bytes) {
+  DYNMO_CHECK(num_stages > 0 && num_stages <= topo.num_ranks(),
+              num_stages << " stages on " << topo.num_ranks() << " ranks");
+  // Seed on the node with the highest aggregate throughput: if the
+  // pipeline fits inside it, no boundary leaves the clique at all.
+  int seed_node = 0;
+  double best_throughput = -1.0;
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    double acc = 0.0;
+    for (int i = 0; i < topo.node_size(n); ++i) {
+      acc += topo.relative_speed(topo.first_rank(n) + i);
+    }
+    if (acc > best_throughput) {
+      best_throughput = acc;
+      seed_node = n;
+    }
+  }
+
+  std::vector<bool> used(static_cast<std::size_t>(topo.num_ranks()), false);
+  std::vector<int> ranks;
+  ranks.reserve(static_cast<std::size_t>(num_stages));
+  int prev = topo.first_rank(seed_node);
+  used[static_cast<std::size_t>(prev)] = true;
+  ranks.push_back(prev);
+  while (static_cast<int>(ranks.size()) < num_stages) {
+    int best = -1;
+    double best_time = std::numeric_limits<double>::infinity();
+    double best_speed = -1.0;
+    const auto paths = topo.best_paths_from(prev);  // one Dijkstra per step
+    for (int r = 0; r < topo.num_ranks(); ++r) {
+      if (used[static_cast<std::size_t>(r)]) continue;
+      const PathInfo& p = paths[static_cast<std::size_t>(r)];
+      DYNMO_CHECK(p.reachable(),
+                  "ranks " << prev << " and " << r << " are disconnected");
+      const double t = p.time_s(activation_bytes);
+      const double speed = topo.relative_speed(r);
+      // Cheapest link wins; among equal links prefer the faster GPU,
+      // then the lower rank (keeps fills deterministic and contiguous).
+      constexpr double kTimeEps = 1e-12;
+      if (t < best_time - kTimeEps ||
+          (t < best_time + kTimeEps && speed > best_speed)) {
+        best = r;
+        best_time = t;
+        best_speed = speed;
+      }
+    }
+    used[static_cast<std::size_t>(best)] = true;
+    ranks.push_back(best);
+    prev = best;
+  }
+  return finish(topo, std::move(ranks), activation_bytes);
+}
+
+}  // namespace dynmo::cluster

@@ -1,0 +1,55 @@
+// Topology-aware stage → rank placement.
+//
+// A pipeline's traffic is dominated by activations flowing between
+// *adjacent* stages, so a placement is scored by the summed p2p time of
+// its stage boundaries for a reference activation payload.  The greedy
+// topology-aware placement keeps consecutive stages on the fastest links
+// (NVLink before rails before Ethernet) and starts on the highest-
+// throughput node; linear fill and round-robin are the comparison
+// baselines (round-robin is what a topology-blind scheduler does, and
+// pays an inter-node link on *every* boundary).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cluster/topology.hpp"
+
+namespace dynmo::cluster {
+
+/// Reference per-boundary activation payload (micro-batch × seq × hidden
+/// × 2 bytes at GPT-medium scale).
+inline constexpr std::size_t kDefaultActivationBytes = 16u << 20;
+
+struct Placement {
+  std::vector<int> stage_to_rank;
+  /// Summed boundary p2p time for the activation payload the placement
+  /// was scored with.
+  double boundary_time_s = 0.0;
+};
+
+/// Σ over adjacent stage pairs of topo.p2p_time(rank_s, rank_{s+1}, bytes).
+double placement_cost_s(const Topology& topo,
+                        std::span<const int> stage_to_rank,
+                        std::size_t activation_bytes = kDefaultActivationBytes);
+
+/// Stage s → rank s: fills node 0 first, then node 1, ...
+Placement place_linear(const Topology& topo, int num_stages,
+                       std::size_t activation_bytes = kDefaultActivationBytes);
+
+/// Stages dealt across nodes like cards — the topology-blind strawman.
+Placement place_round_robin(
+    const Topology& topo, int num_stages,
+    std::size_t activation_bytes = kDefaultActivationBytes);
+
+/// Greedy: start on the highest-aggregate-throughput node, then repeatedly
+/// pick the unused rank with the cheapest link from the previous stage
+/// (ties broken toward faster GPUs).  Reduces to linear fill on
+/// homogeneous hierarchies; on heterogeneous or irregular graphs it
+/// routes the pipeline along the fast edges.
+Placement place_topology_aware(
+    const Topology& topo, int num_stages,
+    std::size_t activation_bytes = kDefaultActivationBytes);
+
+}  // namespace dynmo::cluster

@@ -10,11 +10,13 @@
 
 #include <cstddef>
 #include <cmath>
+#include <functional>
+#include <utility>
 
 namespace dynmo::comm {
 
 /// Link tier between two workers.
-enum class LinkTier { NvLink, InfiniBand, Pcie };
+enum class LinkTier { NvLink, InfiniBand, Pcie, Ethernet };
 
 struct LinkParams {
   double alpha_s;        ///< latency, seconds
@@ -29,14 +31,28 @@ struct CostModelConfig {
   // effective ~25 GB/s with ~5 us latency (RDMA).
   LinkParams infiniband{5e-6, 25e9};
   LinkParams pcie{4e-6, 55e9};
+  // 100GbE TCP fallback for commodity clusters: ~12.5 GB/s line rate,
+  // tens-of-microseconds latency through the kernel stack.
+  LinkParams ethernet{30e-6, 12.5e9};
   int gpus_per_node = 4;  ///< paper testbed: 4x H100 per node
 };
 
 class CostModel {
  public:
+  /// Per-rank-pair link override.  When set, point-to-point transfers are
+  /// priced by whatever the resolver returns (e.g. the shortest-path
+  /// effective link of a cluster::Topology) instead of the flat two-tier
+  /// same-node/cross-node rule.  Collectives keep the tier formulas.
+  using LinkResolver = std::function<LinkParams(int rank_a, int rank_b)>;
+
   explicit CostModel(CostModelConfig cfg = {}) : cfg_(cfg) {}
 
   const CostModelConfig& config() const { return cfg_; }
+
+  void set_link_resolver(LinkResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+  bool has_link_resolver() const { return static_cast<bool>(resolver_); }
 
   /// Which tier connects two global ranks (same node → NVLink).
   LinkTier tier(int rank_a, int rank_b) const {
@@ -46,8 +62,14 @@ class CostModel {
 
   int node_of(int rank) const { return rank / cfg_.gpus_per_node; }
 
+  /// Effective link between two ranks: resolver if set, tier rule otherwise.
+  LinkParams link(int rank_a, int rank_b) const {
+    if (resolver_) return resolver_(rank_a, rank_b);
+    return params(tier(rank_a, rank_b));
+  }
+
   double p2p_time(int rank_a, int rank_b, std::size_t bytes) const {
-    const LinkParams& lp = params(tier(rank_a, rank_b));
+    const LinkParams lp = link(rank_a, rank_b);
     return lp.alpha_s + static_cast<double>(bytes) / lp.beta_bytes_s;
   }
 
@@ -88,12 +110,14 @@ class CostModel {
       case LinkTier::NvLink: return cfg_.nvlink;
       case LinkTier::InfiniBand: return cfg_.infiniband;
       case LinkTier::Pcie: return cfg_.pcie;
+      case LinkTier::Ethernet: return cfg_.ethernet;
     }
     return cfg_.pcie;  // unreachable
   }
 
  private:
   CostModelConfig cfg_;
+  LinkResolver resolver_;
 };
 
 }  // namespace dynmo::comm

@@ -11,6 +11,11 @@
 //   dynmo::Session session(model, dynmo::UseCase::EarlyExit, opt);
 //   auto result = session.run();
 //
+// Multi-node clusters: set opt.session.topology (cluster::Topology presets
+// or a hand-built graph) and the session prices migrations by the actual
+// links and places stages topology-aware.  cluster::HierarchicalBalancer
+// offers the two-level (intra-node first) diffusion variant directly.
+//
 // Everything the facade does is available piecemeal through the subsystem
 // headers (balance/, dynamic/, pipeline/, repack/, runtime/) for users who
 // need custom engines or schedules.
@@ -18,6 +23,9 @@
 
 #include <memory>
 
+#include "cluster/hier_balancer.hpp"
+#include "cluster/placement.hpp"
+#include "cluster/topology.hpp"
 #include "dynamic/dynamism.hpp"
 #include "dynamic/early_exit.hpp"
 #include "dynamic/freezing.hpp"

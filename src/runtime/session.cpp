@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/placement.hpp"
 #include "core/error.hpp"
 #include "core/log.hpp"
 #include "core/rng.hpp"
@@ -27,11 +28,17 @@ TrainingSession::TrainingSession(const model::ModelDesc& model,
                                  dynamic::DynamismEngine* engine)
     : model_(&model), cfg_(cfg), engine_(engine),
       layer_costs_(cfg.gpu),
-      net_(comm::CostModel(cfg.net)),
+      net_(cfg.topology ? cfg.topology->make_cost_model(cfg.net)
+                        : comm::CostModel(cfg.net)),
       builder_(model, layer_costs_, net_,
                pipeline::CostBuilderConfig{cfg.micro_batch,
                                            cfg.num_microbatches, 0}) {
   DYNMO_CHECK(cfg.pipeline_stages > 0, "need at least one stage");
+  DYNMO_CHECK(!cfg.topology ||
+                  cfg.topology->num_ranks() >= cfg.pipeline_stages,
+              "topology has " << cfg.topology->num_ranks()
+                              << " ranks, pipeline needs "
+                              << cfg.pipeline_stages);
   DYNMO_CHECK(cfg.iterations > 0, "need at least one iteration");
   DYNMO_CHECK(cfg.sim_stride > 0, "stride must be positive");
   DYNMO_CHECK(static_cast<std::size_t>(cfg.pipeline_stages) <=
@@ -110,10 +117,15 @@ SessionResult TrainingSession::run() {
   }
   int active = S0;
 
-  balance::Rebalancer rebalancer(
-      balance::RebalanceConfig{cfg_.algorithm, cfg_.balance_by, mem_capacity,
-                               0.0, 2e-6, 10e-6},
-      net_);
+  balance::RebalanceConfig rb_cfg{cfg_.algorithm, cfg_.balance_by,
+                                  mem_capacity, 0.0, 2e-6, 10e-6};
+  if (cfg_.topology) {
+    // Topology-aware placement: adjacent stages sit on the fastest links,
+    // and migrations are priced over the ranks they actually connect.
+    rb_cfg.stage_to_rank =
+        cluster::place_topology_aware(*cfg_.topology, S0).stage_to_rank;
+  }
+  balance::Rebalancer rebalancer(rb_cfg, net_);
 
   const std::int64_t interval = effective_rebalance_interval();
   Rng noise_rng(hash_mix(cfg_.seed, 0x7e55));
@@ -221,8 +233,12 @@ SessionResult TrainingSession::run() {
               rp.map.boundaries().begin() + rp.active_workers + 1);
           const auto packed = pipeline::StageMap::from_boundaries(b);
           const auto migration = balance::plan_migration(map, packed, mem);
-          event_time += migration.estimated_time_s(net_);
-          res.overhead.migrate_s += migration.estimated_time_s(net_);
+          const double migrate_s =
+              rb_cfg.stage_to_rank.empty()
+                  ? migration.estimated_time_s(net_)
+                  : migration.estimated_time_s(net_, rb_cfg.stage_to_rank);
+          event_time += migrate_s;
+          res.overhead.migrate_s += migrate_s;
           map = packed;
           active = rp.active_workers;
           ++res.repack_count;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "balance/rebalancer.hpp"
+#include "cluster/topology.hpp"
 #include "comm/cost_model.hpp"
 #include "dynamic/dynamism.hpp"
 #include "hw/gpu_spec.hpp"
@@ -51,6 +52,13 @@ struct SessionConfig {
   pipeline::ScheduleKind schedule = pipeline::ScheduleKind::ZbH1;
   hw::GpuSpec gpu = hw::GpuSpec::h100_sxm5();
   comm::CostModelConfig net{};
+  /// Optional hierarchical cluster description.  When set, every
+  /// point-to-point transfer (layer migration above all) is priced by the
+  /// topology's shortest-path effective link instead of `net`'s flat
+  /// two-tier rule, and stages are placed on ranks topology-aware
+  /// (adjacent stages on the fastest links).  Collectives keep the `net`
+  /// tier formulas.
+  std::optional<cluster::Topology> topology;
 
   BalancingMode mode = BalancingMode::DynMo;
   balance::Algorithm algorithm = balance::Algorithm::Diffusion;
