@@ -1,20 +1,29 @@
-// Flat vs. hierarchical diffusion on multi-node topologies.
+// Flat vs. hierarchical diffusion on multi-node deployments.
 //
 // Sweeps 2–16 simulated DGX-H100 nodes under three skew patterns and
 // compares balance::DiffusionBalancer (topology-blind) against
 // cluster::HierarchicalBalancer (intra-node first, inter-node only when
-// the node totals are out of balance).  Reported per scenario:
+// the node totals are out of balance), both consuming the same
+// cluster::Deployment.  Every scenario runs `kSeeds` RNG seeds and reports
+// mean ± stddev of:
 //   inter-node migration bytes (the expensive InfiniBand traffic),
-//   migration wall-clock under topology pricing, and the final
-//   imbalance ratio (max−min)/mean.  The hierarchical balancer should
-//   issue strictly fewer inter-node bytes at equal-or-better imbalance.
+//   migration wall-clock under deployment pricing, and the bottleneck
+//   ratio max/mean (what gates pipeline throughput).
+// The hierarchical balancer should issue strictly fewer inter-node bytes
+// at an equal-or-better bottleneck.
+//
+// `--json PATH` additionally writes the aggregates as a BENCH_*.json perf
+// trajectory (see bench/record_bench.sh); all arithmetic is deterministic,
+// so the recorded numbers are machine-independent.
 #include <cinttypes>
+#include <cstring>
 #include <numeric>
+#include <string>
 
 #include "balance/diffusion.hpp"
 #include "balance/migration.hpp"
+#include "cluster/deployment.hpp"
 #include "cluster/hier_balancer.hpp"
-#include "cluster/placement.hpp"
 #include "cluster/topology.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
@@ -24,6 +33,8 @@
 namespace {
 
 using namespace dynmo;
+
+constexpr int kSeeds = 12;
 
 std::vector<double> make_weights(const char* skew, std::size_t layers,
                                  std::size_t layers_per_node, Rng& rng) {
@@ -44,109 +55,189 @@ std::vector<double> make_weights(const char* skew, std::size_t layers,
   return w;
 }
 
-struct Row {
-  double inter_bytes = 0.0;
-  double migrate_s = 0.0;
-  double imbalance = 0.0;   ///< (max-min)/mean, paper Eq. (2)
-  double bottleneck = 0.0;  ///< max/mean — what gates pipeline throughput
+struct SeedStats {
+  RunningStats inter_bytes;
+  RunningStats migrate_s;
+  RunningStats bottleneck;  ///< max/mean — what gates pipeline throughput
 };
+
+struct Scenario {
+  int nodes = 0;
+  const char* skew = "";
+  SeedStats flat;
+  SeedStats hier;
+  int hier_bottleneck_wins = 0;  ///< seeds with hier bn <= flat bn
+  int hier_strict_wins = 0;      ///< ... and strictly fewer inter bytes
+};
+
+void write_json(const char* path, const std::vector<Scenario>& rows,
+                int bottleneck_wins, int strict_wins, int comparisons) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"topology_balance\",\n");
+  std::fprintf(f, "  \"seeds_per_scenario\": %d,\n", kSeeds);
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Scenario& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"nodes\": %d, \"skew\": \"%s\",\n"
+        "     \"flat_inter_bytes_mean\": %.6g, \"flat_inter_bytes_std\": "
+        "%.6g,\n"
+        "     \"hier_inter_bytes_mean\": %.6g, \"hier_inter_bytes_std\": "
+        "%.6g,\n"
+        "     \"flat_bottleneck_mean\": %.6g, \"flat_bottleneck_std\": "
+        "%.6g,\n"
+        "     \"hier_bottleneck_mean\": %.6g, \"hier_bottleneck_std\": "
+        "%.6g,\n"
+        "     \"flat_migrate_s_mean\": %.6g, \"hier_migrate_s_mean\": "
+        "%.6g,\n"
+        "     \"hier_bottleneck_wins\": %d, \"hier_strict_wins\": %d}%s\n",
+        r.nodes, r.skew, r.flat.inter_bytes.mean(),
+        r.flat.inter_bytes.stddev(), r.hier.inter_bytes.mean(),
+        r.hier.inter_bytes.stddev(), r.flat.bottleneck.mean(),
+        r.flat.bottleneck.stddev(), r.hier.bottleneck.mean(),
+        r.hier.bottleneck.stddev(), r.flat.migrate_s.mean(),
+        r.hier.migrate_s.mean(), r.hier_bottleneck_wins, r.hier_strict_wins,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"summary\": {\"comparisons\": %d, "
+               "\"hier_bottleneck_wins\": %d, \"hier_strict_wins\": %d}\n}\n",
+               comparisons, bottleneck_wins, strict_wins);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
 
 }  // namespace
 
-int main() {
-  std::printf("Flat vs hierarchical diffusion on n x DGX-H100 (8 GPU/node)\n");
-  std::printf("layer state: 1 GiB/layer; migration priced by topology\n\n");
-  std::printf("%6s %6s %7s | %12s %10s %6s %6s | %12s %10s %6s %6s | %s\n",
-              "nodes", "stages", "skew", "flat inter", "flat mig", "imb",
-              "bn", "hier inter", "hier mig", "imb", "bn",
-              "inter-bytes saved");
-
-  struct Totals {
-    double flat_inter = 0.0;
-    double hier_inter = 0.0;
-  };
-  Totals by_skew[3];
-  const char* skew_names[3] = {"intra", "node", "mixed"};
-  int hier_strict_wins = 0;  // strictly fewer inter bytes at <= imbalance
-  int hier_imbalance_wins = 0;
-  int scenarios = 0;
-
-  Rng rng(0x70b0);
-  for (int nodes : {2, 4, 8, 16}) {
-    const auto topo = cluster::Topology::make_dgx_h100(nodes);
-    const auto net = topo.make_cost_model();
-    const int stages = topo.num_ranks();
-    const std::size_t layers = static_cast<std::size_t>(stages) * 6;
-    const auto placement = cluster::place_topology_aware(topo, stages);
-
-    for (int skew_idx = 0; skew_idx < 3; ++skew_idx) {
-      const char* skew = skew_names[skew_idx];
-      const auto w =
-          make_weights(skew, layers, layers / static_cast<std::size_t>(nodes),
-                       rng);
-      std::vector<double> state_bytes(layers, 1.0 * GiB);
-      const auto start = pipeline::StageMap::uniform(layers, stages);
-
-      balance::DiffusionRequest req;
-      req.weights = w;
-
-      const auto eval = [&](const pipeline::StageMap& result) {
-        Row row;
-        const auto plan = balance::plan_migration(start, result, state_bytes);
-        const auto split =
-            cluster::classify_migration(plan, topo, placement.stage_to_rank);
-        row.inter_bytes = split.inter_node_bytes;
-        row.migrate_s =
-            plan.estimated_time_s(net, placement.stage_to_rank);
-        row.imbalance = load_imbalance(result.stage_loads(w));
-        row.bottleneck = max_over_mean(result.stage_loads(w));
-        return row;
-      };
-
-      const auto flat =
-          eval(balance::DiffusionBalancer{}.balance(req, start).map);
-      const auto hier = eval(
-          cluster::HierarchicalBalancer(topo)
-              .balance(req, start, placement.stage_to_rank)
-              .map);
-
-      by_skew[skew_idx].flat_inter += flat.inter_bytes;
-      by_skew[skew_idx].hier_inter += hier.inter_bytes;
-      if (hier.bottleneck <= flat.bottleneck + 1e-9) {
-        ++hier_imbalance_wins;
-        if (hier.inter_bytes < flat.inter_bytes) ++hier_strict_wins;
-      }
-      ++scenarios;
-
-      std::printf(
-          "%6d %6d %7s | %12s %10s %6.3f %6.3f | %12s %10s %6.3f %6.3f | "
-          "%s\n",
-          nodes, stages, skew, format_bytes(flat.inter_bytes).c_str(),
-          format_seconds(flat.migrate_s).c_str(), flat.imbalance,
-          flat.bottleneck, format_bytes(hier.inter_bytes).c_str(),
-          format_seconds(hier.migrate_s).c_str(), hier.imbalance,
-          hier.bottleneck,
-          format_bytes(flat.inter_bytes - hier.inter_bytes).c_str());
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     }
   }
 
-  std::printf("\ninter-node migration bytes by skew class:\n");
-  for (int i = 0; i < 3; ++i) {
-    std::printf("  %-6s flat %10s   hier %10s\n", skew_names[i],
-                format_bytes(by_skew[i].flat_inter).c_str(),
-                format_bytes(by_skew[i].hier_inter).c_str());
+  std::printf("Flat vs hierarchical diffusion on n x DGX-H100 (8 GPU/node)\n");
+  std::printf(
+      "layer state: 1 GiB/layer; migration priced by deployment; "
+      "%d seeds/scenario (mean +- std)\n\n",
+      kSeeds);
+  std::printf("%6s %6s %7s | %22s %14s | %22s %14s | %s\n", "nodes",
+              "stages", "skew", "flat inter", "flat bn", "hier inter",
+              "hier bn", "inter saved");
+
+  std::vector<Scenario> rows;
+  int bottleneck_wins = 0;  // hier bottleneck <= flat (per seed)
+  int strict_wins = 0;      // ... and strictly fewer inter bytes
+  int comparisons = 0;
+
+  for (int nodes : {2, 4, 8, 16}) {
+    const auto dep = cluster::Deployment::make_topology_aware(
+        cluster::Topology::make_dgx_h100(nodes),
+        /*num_stages=*/nodes * 8);
+    const auto net = dep.make_cost_model();
+    const int stages = dep.num_stages();
+    const std::size_t layers = static_cast<std::size_t>(stages) * 6;
+
+    for (const char* skew : {"intra", "node", "mixed"}) {
+      Scenario row;
+      row.nodes = nodes;
+      row.skew = skew;
+
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        Rng rng(hash_mix(0x70b0, static_cast<std::uint64_t>(seed) * 977 +
+                                     static_cast<std::uint64_t>(nodes)));
+        const auto w = make_weights(
+            skew, layers, layers / static_cast<std::size_t>(nodes), rng);
+        std::vector<double> state_bytes(layers, 1.0 * GiB);
+        const auto start = pipeline::StageMap::uniform(layers, stages);
+
+        balance::DiffusionRequest req;
+        req.weights = w;
+
+        const auto eval = [&](const pipeline::StageMap& result,
+                              SeedStats& into) {
+          const auto plan =
+              balance::plan_migration(start, result, state_bytes);
+          const auto split = cluster::classify_migration(
+              plan, dep.topology(), dep.stage_to_rank());
+          into.inter_bytes.add(split.inter_node_bytes);
+          into.migrate_s.add(
+              plan.estimated_time_s(net, dep.stage_to_rank()));
+          into.bottleneck.add(max_over_mean(result.stage_loads(w)));
+          return std::pair{split.inter_node_bytes,
+                           max_over_mean(result.stage_loads(w))};
+        };
+
+        const auto [flat_inter, flat_bn] = eval(
+            balance::DiffusionBalancer{}.balance(req, start).map, row.flat);
+        const auto [hier_inter, hier_bn] =
+            eval(cluster::HierarchicalBalancer(dep.topology())
+                     .balance(req, start, dep.stage_to_rank())
+                     .map,
+                 row.hier);
+
+        ++comparisons;
+        if (hier_bn <= flat_bn + 1e-9) {
+          ++row.hier_bottleneck_wins;
+          ++bottleneck_wins;
+          if (hier_inter < flat_inter) {
+            ++row.hier_strict_wins;
+            ++strict_wins;
+          }
+        }
+      }
+
+      std::printf(
+          "%6d %6d %7s | %10s +- %-8s %6.3f +- %5.3f | %10s +- %-8s "
+          "%6.3f +- %5.3f | %s\n",
+          nodes, stages, skew, format_bytes(row.flat.inter_bytes.mean()).c_str(),
+          format_bytes(row.flat.inter_bytes.stddev()).c_str(),
+          row.flat.bottleneck.mean(), row.flat.bottleneck.stddev(),
+          format_bytes(row.hier.inter_bytes.mean()).c_str(),
+          format_bytes(row.hier.inter_bytes.stddev()).c_str(),
+          row.hier.bottleneck.mean(), row.hier.bottleneck.stddev(),
+          format_bytes(row.flat.inter_bytes.mean() -
+                       row.hier.inter_bytes.mean())
+              .c_str());
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::printf("\ninter-node migration bytes by skew class (mean over "
+              "nodes+seeds):\n");
+  for (const char* skew : {"intra", "node", "mixed"}) {
+    RunningStats flat;
+    RunningStats hier;
+    for (const Scenario& r : rows) {
+      if (std::strcmp(r.skew, skew) != 0) continue;
+      flat.add(r.flat.inter_bytes.mean());
+      hier.add(r.hier.inter_bytes.mean());
+    }
+    std::printf("  %-6s flat %10s   hier %10s\n", skew,
+                format_bytes(flat.mean()).c_str(),
+                format_bytes(hier.mean()).c_str());
   }
   std::printf(
       "\nwhen the skew lives inside nodes, the hierarchy pays zero "
       "InfiniBand traffic;\nwhen load must cross nodes, both move "
       "comparable bytes (the moves are forced).\n");
   std::printf(
-      "hier bottleneck ratio (max/mean, what gates pipeline throughput) "
-      "<= flat in %d/%d scenarios\n",
-      hier_imbalance_wins, scenarios);
+      "hier bottleneck ratio (max/mean) <= flat in %d/%d seed runs\n",
+      bottleneck_wins, comparisons);
   std::printf(
       "strictly fewer inter-node bytes at equal-or-better bottleneck: "
-      "%d scenario(s)\n",
-      hier_strict_wins);
+      "%d seed run(s)\n",
+      strict_wins);
+
+  if (json_path != nullptr) {
+    write_json(json_path, rows, bottleneck_wins, strict_wins, comparisons);
+  }
   return 0;
 }

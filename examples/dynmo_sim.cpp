@@ -198,7 +198,7 @@ int main(int argc, char** argv) {
       pipeline::CostBuilder builder(
           model, model::LayerCostModel{}, comm::CostModel{},
           pipeline::CostBuilderConfig{opt.session.micro_batch,
-                                      opt.session.num_microbatches, 0});
+                                      opt.session.num_microbatches});
       const auto costs = builder.build(states, r.final_map);
       const auto [pres, trace] =
           pipeline::simulate_traced(opt.session.schedule, costs);

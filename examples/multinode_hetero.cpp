@@ -1,11 +1,14 @@
 // Multi-node / heterogeneous cluster walkthrough.
 //
-// 1. Describe clusters declaratively (DGX presets, a mixed H100+A100 pod).
-// 2. Compare stage→rank placements by their boundary traffic cost.
+// 1. Describe deployments declaratively: a Topology (DGX presets, a mixed
+//    H100+A100 pod) bound to a stage→rank placement = cluster::Deployment.
+// 2. Ask the deployment the questions every cost surface asks: per-stage
+//    GPU, stage-boundary links, node-grouped collectives, capacities.
 // 3. Balance a skewed load flat vs. hierarchically and count the
 //    InfiniBand bytes each approach spends.
-// 4. Run a full training session with the topology attached, so layer
-//    migrations are priced by the links they actually cross.
+// 4. Run full training sessions on the deployment — flat Diffusion vs.
+//    HierarchicalDiffusion — and compare the inter-node migration traffic
+//    each mode generates end-to-end.
 //
 // Build & run:
 //   cmake -B build -G Ninja -DDYNMO_BUILD_EXAMPLES=ON && cmake --build build
@@ -20,9 +23,11 @@
 using namespace dynmo;
 
 int main() {
-  // --- 1. Topologies ------------------------------------------------------
-  const auto pod = cluster::Topology::make_dgx_h100(2);
-  std::printf("homogeneous pod: %s\n", pod.to_string().c_str());
+  // --- 1. Deployments -----------------------------------------------------
+  const auto pod = cluster::Deployment::make_topology_aware(
+      cluster::Topology::make_dgx_h100(2), /*num_stages=*/16);
+  std::printf("homogeneous pod: %s\n",
+              pod.topology().to_string().c_str());
 
   cluster::NodeDesc h100_node;
   h100_node.gpus.assign(8, hw::GpuSpec::h100_sxm5());
@@ -30,29 +35,38 @@ int main() {
   a100_node.gpus.assign(8, hw::GpuSpec::a100_sxm4());
   a100_node.intra = cluster::LinkSpec{cluster::LinkType::NvLink, 250e9,
                                       2.5e-6};
-  const auto hetero = cluster::Topology::make_hetero(
-      {h100_node, a100_node},
-      cluster::default_link(cluster::LinkType::InfiniBand));
-  std::printf("hetero pod:      %s\n\n", hetero.to_string().c_str());
+  const auto hetero = cluster::Deployment::make_topology_aware(
+      cluster::Topology::make_hetero(
+          {h100_node, a100_node},
+          cluster::default_link(cluster::LinkType::InfiniBand)),
+      /*num_stages=*/16);
+  std::printf("hetero pod:      %s\n\n",
+              hetero.topology().to_string().c_str());
 
-  std::printf("link examples (64 MiB payload):\n");
+  // --- 2. What the cost surfaces ask a deployment -------------------------
+  std::printf("stage-boundary links of the homogeneous pod (64 MiB):\n");
   for (const auto& [a, b, what] :
-       {std::tuple{0, 5, "intra-node NVLink"},
-        {3, 11, "cross-node same rail"},
-        {0, 13, "cross-node off-rail (NVLink + IB)"}}) {
-    std::printf("  rank %2d -> %2d  %-34s %s\n", a, b, what,
-                format_seconds(pod.p2p_time(a, b, 64u << 20)).c_str());
+       {std::tuple{0, 1, "adjacent stages, same node"},
+        {7, 8, "the one node-crossing boundary"}}) {
+    const auto lp = pod.link(a, b);
+    std::printf("  stage %2d -> %2d  %-32s %s\n", a, b, what,
+                format_seconds(lp.alpha_s + (64u << 20) / lp.beta_bytes_s)
+                    .c_str());
   }
-
-  // --- 2. Placement -------------------------------------------------------
-  std::printf("\nplacement cost (16 stages, per-boundary activations):\n");
-  for (const auto& [name, p] :
-       {std::pair{"linear", cluster::place_linear(pod, 16)},
-        {"round-robin", cluster::place_round_robin(pod, 16)},
-        {"topology-aware", cluster::place_topology_aware(pod, 16)}}) {
-    std::printf("  %-15s %s per iteration of boundary traffic\n", name,
-                format_seconds(p.boundary_time_s).c_str());
-  }
+  const auto caps = hetero.stage_capacities();
+  std::printf("\nhetero per-stage hardware (capacity-weighted balancing):\n");
+  std::printf("  stage 0 on %s (capacity %.2f), stage 15 on %s "
+              "(capacity %.2f)\n",
+              hetero.gpu(0).name.c_str(), caps[0],
+              hetero.gpu(15).name.c_str(), caps[15]);
+  const auto group = pod.stage_group();
+  const auto net = pod.make_cost_model();
+  std::printf("\ncollectives over all 16 stages (node-grouped %dx%d):\n",
+              group.num_nodes(), group.max_node_size());
+  std::printf("  allreduce 256 MiB   flat cross-node %s   hierarchical %s\n",
+              format_seconds(net.allreduce_time(16, 256u << 20, true))
+                  .c_str(),
+              format_seconds(net.allreduce_time(group, 256u << 20)).c_str());
 
   // --- 3. Flat vs hierarchical balancing ---------------------------------
   // Skew that lives inside each node: heavy early layers per node half.
@@ -64,17 +78,15 @@ int main() {
   }
   const auto start = pipeline::StageMap::uniform(layers, 16);
   const std::vector<double> state_bytes(layers, 1e9);
-  const auto placement = cluster::place_topology_aware(pod, 16);
 
   const auto flat = balance::DiffusionBalancer{}.balance(req, start);
-  const auto hier =
-      cluster::HierarchicalBalancer(pod).balance(req, start,
-                                                 placement.stage_to_rank);
+  const auto hier = cluster::HierarchicalBalancer(pod.topology())
+                        .balance(req, start, pod.stage_to_rank());
 
   const auto report = [&](const char* name, const pipeline::StageMap& m) {
     const auto plan = balance::plan_migration(start, m, state_bytes);
-    const auto split =
-        cluster::classify_migration(plan, pod, placement.stage_to_rank);
+    const auto split = cluster::classify_migration(plan, pod.topology(),
+                                                   pod.stage_to_rank());
     std::printf("  %-6s imbalance %.3f, intra-node %s, inter-node %s\n",
                 name, load_imbalance(m.stage_loads(req.weights)),
                 format_bytes(split.intra_node_bytes).c_str(),
@@ -86,10 +98,18 @@ int main() {
   std::printf("  (hier used inter-node level: %s)\n",
               hier.used_inter_node ? "yes" : "no");
 
-  // --- 4. End-to-end session on the topology -----------------------------
+  // --- 4. End-to-end sessions on a deployment ----------------------------
   // MoE continual training rebalances every iteration (routing skew moves
-  // constantly), so layer migrations actually happen and their cost shows
-  // the topology pricing at work.
+  // constantly), so layer migrations actually happen and the two balancing
+  // algorithms differ in the fabric traffic they generate.  Small 2-GPU
+  // nodes put a node boundary between most stage pairs — the regime where
+  // topology-blind balancing leaks the most InfiniBand traffic.
+  const auto rails = cluster::Deployment::make_topology_aware(
+      cluster::Topology::make_homogeneous(
+          8, 2, hw::GpuSpec::h100_sxm5(),
+          cluster::default_link(cluster::LinkType::NvLink),
+          cluster::default_link(cluster::LinkType::InfiniBand)),
+      /*num_stages=*/16);
   const auto model =
       model::make_moe(model::llama_moe_3_5b_config(), "llama-moe");
   Options opt;
@@ -97,17 +117,31 @@ int main() {
   opt.session.num_microbatches = 64;
   opt.session.iterations = 500;
   opt.session.sim_stride = 10;
-  opt.session.topology = pod;
+  opt.session.deployment = rails;
 
-  Session session(model, UseCase::Moe, opt);
-  const auto result = session.run();
-  std::printf("\nsession on 2x DGX-H100 (MoE continual, 16 stages):\n");
-  std::printf("  tokens/sec %.0f, idleness %.3f, rebalances %d, migrations "
-              "%s (%.2f%% of run)\n",
-              result.tokens_per_sec, result.avg_idleness,
-              result.rebalance_count,
-              format_seconds(result.overhead.migrate_s).c_str(),
-              100.0 * result.overhead.migrate_s /
-                  std::max(1e-9, result.total_time_s));
+  const auto run_algo = [&](balance::Algorithm algo) {
+    Options o = opt;
+    o.session.algorithm = algo;
+    Session session(model, UseCase::Moe, o);
+    return session.run();
+  };
+  const auto flat_run = run_algo(balance::Algorithm::Diffusion);
+  const auto hier_run = run_algo(balance::Algorithm::HierarchicalDiffusion);
+
+  std::printf("\nsession on 8x 2-GPU nodes (MoE continual, 16 stages):\n");
+  for (const auto& [name, r] :
+       {std::pair{"diffusion", &flat_run}, {"hier_diffusion", &hier_run}}) {
+    std::printf("  %-14s tokens/sec %.0f, idleness %.3f, rebalances %d, "
+                "migrations intra %s / inter %s\n",
+                name, r->tokens_per_sec, r->avg_idleness,
+                r->rebalance_count,
+                format_bytes(r->intra_node_migration_bytes).c_str(),
+                format_bytes(r->inter_node_migration_bytes).c_str());
+  }
+  std::printf("  hierarchical balancing saved %s of inter-node migration "
+              "traffic\n",
+              format_bytes(flat_run.inter_node_migration_bytes -
+                           hier_run.inter_node_migration_bytes)
+                  .c_str());
   return 0;
 }

@@ -37,11 +37,9 @@ double bottleneck_rank_time(const std::vector<LayerTransfer>& transfers,
 
 }  // namespace
 
-double MigrationPlan::estimated_time_s(const comm::CostModel& net,
-                                       int first_global_rank) const {
-  return bottleneck_rank_time(
-      transfers, net,
-      [first_global_rank](int stage) { return first_global_rank + stage; });
+double MigrationPlan::estimated_time_s(const comm::CostModel& net) const {
+  return bottleneck_rank_time(transfers, net,
+                              [](int stage) { return stage; });
 }
 
 double MigrationPlan::estimated_time_s(

@@ -27,11 +27,10 @@ struct MigrationPlan {
 
   bool empty() const { return transfers.empty(); }
   double total_bytes() const;
-  /// Wall-clock estimate under per-rank serialization.
-  double estimated_time_s(const comm::CostModel& net,
-                          int first_global_rank = 0) const;
-  /// Same, but stage s lives on rank stage_to_rank[s] (topology-aware
-  /// placements); each transfer is priced by the link its endpoints
+  /// Wall-clock estimate under per-rank serialization; stage s is rank s.
+  double estimated_time_s(const comm::CostModel& net) const;
+  /// Same, but stage s lives on rank stage_to_rank[s] (a deployment's
+  /// placement); each transfer is priced by the link its endpoints
   /// actually share.
   double estimated_time_s(const comm::CostModel& net,
                           std::span<const int> stage_to_rank) const;

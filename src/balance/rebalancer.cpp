@@ -9,7 +9,12 @@
 namespace dynmo::balance {
 
 const char* to_string(Algorithm a) {
-  return a == Algorithm::Partition ? "partition" : "diffusion";
+  switch (a) {
+    case Algorithm::Partition: return "partition";
+    case Algorithm::Diffusion: return "diffusion";
+    case Algorithm::HierarchicalDiffusion: return "hier_diffusion";
+  }
+  return "?";
 }
 
 RebalanceOutcome Rebalancer::rebalance(
@@ -39,24 +44,44 @@ RebalanceOutcome Rebalancer::rebalance(
       out.map = PartitionBalancer{}.balance(req).map;
       break;
     }
-    case Algorithm::Diffusion: {
+    case Algorithm::Diffusion:
+    case Algorithm::HierarchicalDiffusion: {
       DiffusionRequest req;
       req.weights = weights;
       req.memory_bytes = profile.memory_bytes;
       req.mem_capacity = cfg_.mem_capacity;
       req.gamma = cfg_.gamma;
-      out.diffusion = DiffusionBalancer{}.balance(req, current);
-      out.map = out.diffusion->map;
+      req.capacities = cfg_.capacities;
+      if (cfg_.algorithm == Algorithm::HierarchicalDiffusion &&
+          cfg_.hierarchical_decider) {
+        out.map = cfg_.hierarchical_decider(req, current);
+      } else {
+        out.diffusion = DiffusionBalancer{}.balance(req, current);
+        out.map = out.diffusion->map;
+      }
       break;
     }
   }
   const auto t1 = std::chrono::steady_clock::now();
 
   // Hysteresis: a new placement must pay for its migrations with a real
-  // bottleneck improvement, or we keep the current one.
+  // bottleneck improvement, or we keep the current one.  Bottlenecks are
+  // capacity-normalized so a heterogeneous deployment compares what
+  // actually gates the pipeline.
   {
-    const auto cur_loads = current.stage_loads(weights);
-    const auto new_loads = out.map.stage_loads(weights);
+    auto cur_loads = current.stage_loads(weights);
+    auto new_loads = out.map.stage_loads(weights);
+    if (!cfg_.capacities.empty()) {
+      DYNMO_CHECK(cfg_.capacities.size() == cur_loads.size(),
+                  "capacity vector covers " << cfg_.capacities.size()
+                                            << " stages, map has "
+                                            << cur_loads.size());
+      for (std::size_t s = 0; s < cur_loads.size(); ++s) {
+        const double c = std::max(1e-12, cfg_.capacities[s]);
+        cur_loads[s] /= c;
+        new_loads[s] /= c;
+      }
+    }
     const double cur_max =
         *std::max_element(cur_loads.begin(), cur_loads.end());
     const double new_max =

@@ -7,7 +7,9 @@
 // P2P transfers respectively.
 #pragma once
 
+#include <functional>
 #include <optional>
+#include <vector>
 
 #include "balance/diffusion.hpp"
 #include "balance/migration.hpp"
@@ -17,7 +19,16 @@
 
 namespace dynmo::balance {
 
-enum class Algorithm { Partition, Diffusion };
+enum class Algorithm {
+  Partition,
+  Diffusion,
+  /// Two-level diffusion over a cluster::Deployment: intra-node first,
+  /// inter-node only when the node totals are out of balance.  The
+  /// balancer itself lives in cluster/ (above this layer), so the runtime
+  /// injects it through RebalanceConfig::hierarchical_decider; without a
+  /// decider this arm falls back to flat Diffusion.
+  HierarchicalDiffusion,
+};
 
 const char* to_string(Algorithm a);
 
@@ -34,11 +45,20 @@ struct RebalanceConfig {
   /// projected bottleneck by at least this fraction.  Prevents migration
   /// churn from chasing profiling noise at every-iteration cadences.
   double min_bottleneck_gain = 0.02;
-  /// Stage s runs on rank stage_to_rank[s] (topology-aware placement);
+  /// Stage s runs on rank stage_to_rank[s] (a deployment's placement);
   /// empty → stage s is rank s.  Migration costs are priced over these
-  /// ranks, so a cost model with a cluster::Topology link resolver charges
-  /// each move the link it actually crosses.
+  /// ranks, so a Deployment-backed cost model charges each move the link
+  /// it actually crosses.
   std::vector<int> stage_to_rank{};
+  /// Per-stage relative compute capacity (heterogeneous deployments);
+  /// empty → uniform.  Diffusion converges loads proportional to capacity
+  /// and the hysteresis compares capacity-normalized bottlenecks.
+  std::vector<double> capacities{};
+  /// Decider for Algorithm::HierarchicalDiffusion, wired by the runtime to
+  /// cluster::HierarchicalBalancer over the session's Deployment.
+  std::function<pipeline::StageMap(const DiffusionRequest&,
+                                   const pipeline::StageMap&)>
+      hierarchical_decider{};
 };
 
 struct OverheadBreakdown {

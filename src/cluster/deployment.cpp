@@ -1,0 +1,153 @@
+#include "cluster/deployment.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dynmo::cluster {
+
+Deployment::Deployment(std::shared_ptr<const Topology> topo,
+                       std::vector<int> stage_to_rank)
+    : topo_(std::move(topo)), stage_to_rank_(std::move(stage_to_rank)) {}
+
+Deployment Deployment::make(Topology topo, std::vector<int> stage_to_rank) {
+  DYNMO_CHECK(!stage_to_rank.empty(), "a deployment needs at least one stage");
+  std::vector<bool> used(static_cast<std::size_t>(topo.num_ranks()), false);
+  for (int r : stage_to_rank) {
+    DYNMO_CHECK(r >= 0 && r < topo.num_ranks(),
+                "placement rank " << r << " outside the topology's "
+                                  << topo.num_ranks() << " ranks");
+    DYNMO_CHECK(!used[static_cast<std::size_t>(r)],
+                "rank " << r << " hosts two stages");
+    used[static_cast<std::size_t>(r)] = true;
+  }
+  return Deployment(std::make_shared<const Topology>(std::move(topo)),
+                    std::move(stage_to_rank));
+}
+
+Deployment Deployment::make_topology_aware(Topology topo, int num_stages,
+                                           std::size_t activation_bytes) {
+  DYNMO_CHECK(num_stages > 0, "a deployment needs at least one stage");
+  DYNMO_CHECK(topo.num_ranks() >= num_stages,
+              "topology has " << topo.num_ranks() << " ranks, deployment "
+                              << "needs " << num_stages);
+  auto placement =
+      place_topology_aware(topo, num_stages, activation_bytes);
+  return make(std::move(topo), std::move(placement.stage_to_rank));
+}
+
+Deployment Deployment::make_linear(Topology topo, int num_stages) {
+  DYNMO_CHECK(num_stages > 0, "a deployment needs at least one stage");
+  DYNMO_CHECK(topo.num_ranks() >= num_stages,
+              "topology has " << topo.num_ranks() << " ranks, deployment "
+                              << "needs " << num_stages);
+  std::vector<int> s2r(static_cast<std::size_t>(num_stages));
+  std::iota(s2r.begin(), s2r.end(), 0);
+  return make(std::move(topo), std::move(s2r));
+}
+
+int Deployment::rank(int stage) const {
+  DYNMO_CHECK(stage >= 0 && stage < num_stages(),
+              "bad stage " << stage << " (deployment has " << num_stages()
+                           << ")");
+  return stage_to_rank_[static_cast<std::size_t>(stage)];
+}
+
+const hw::GpuSpec& Deployment::gpu(int stage) const {
+  return topo_->gpu(rank(stage));
+}
+
+int Deployment::node(int stage) const { return topo_->node_of(rank(stage)); }
+
+comm::LinkParams Deployment::link(int stage_a, int stage_b) const {
+  const int a = rank(stage_a);
+  const int b = rank(stage_b);
+  if (a == b) return {0.0, std::numeric_limits<double>::infinity()};
+  const PathInfo p = topo_->best_path(a, b);
+  DYNMO_CHECK(p.reachable(),
+              "stages " << stage_a << " and " << stage_b
+                        << " are hosted on disconnected ranks");
+  return {p.latency_s, p.bandwidth_bytes_s};
+}
+
+comm::RankGroup Deployment::group(std::span<const int> ranks) const {
+  comm::RankGroup g;
+  g.intra = default_link(LinkType::NvLink).params();
+  g.inter = default_link(LinkType::InfiniBand).params();
+  std::map<int, std::vector<int>> by_node;  // ordered → deterministic
+  for (int r : ranks) by_node[topo_->node_of(r)].push_back(r);
+  g.node_sizes.reserve(by_node.size());
+  bool have_intra = false;
+  for (const auto& [n, members] : by_node) {
+    g.node_sizes.push_back(static_cast<int>(members.size()));
+    if (members.size() > 1) {
+      const comm::LinkParams lp = topo_->node(n).intra.params();
+      if (!have_intra || link_ref_time(lp) > link_ref_time(g.intra)) {
+        g.intra = lp;
+        have_intra = true;
+      }
+    }
+  }
+  bool have_inter = false;
+  for (auto a = by_node.begin(); a != by_node.end(); ++a) {
+    for (auto b = std::next(a); b != by_node.end(); ++b) {
+      const PathInfo p =
+          topo_->best_path(a->second.front(), b->second.front());
+      DYNMO_CHECK(p.reachable(), "group spans disconnected nodes");
+      const comm::LinkParams lp{p.latency_s, p.bandwidth_bytes_s};
+      if (!have_inter || link_ref_time(lp) > link_ref_time(g.inter)) {
+        g.inter = lp;
+        have_inter = true;
+      }
+    }
+  }
+  return g;
+}
+
+comm::RankGroup Deployment::stage_group() const {
+  return group(stage_to_rank_);
+}
+
+std::vector<double> Deployment::stage_capacities() const {
+  std::vector<double> cap(stage_to_rank_.size(), 1.0);
+  double max_speed = 0.0;
+  for (int r : stage_to_rank_) {
+    max_speed = std::max(max_speed, topo_->relative_speed(r));
+  }
+  if (max_speed <= 0.0) return cap;
+  for (std::size_t s = 0; s < stage_to_rank_.size(); ++s) {
+    cap[s] = topo_->relative_speed(stage_to_rank_[s]) / max_speed;
+  }
+  return cap;
+}
+
+double Deployment::min_mem_capacity() const {
+  double cap = std::numeric_limits<double>::infinity();
+  for (int r : stage_to_rank_) {
+    cap = std::min(cap, topo_->gpu(r).mem_capacity);
+  }
+  return cap;
+}
+
+bool Deployment::heterogeneous() const {
+  const auto cap = stage_capacities();
+  return std::any_of(cap.begin(), cap.end(),
+                     [&](double c) { return c != cap.front(); });
+}
+
+comm::CostModel Deployment::make_cost_model(comm::CostModelConfig base) const {
+  return topo_->make_cost_model(base);
+}
+
+std::string Deployment::to_string() const {
+  std::ostringstream os;
+  os << num_stages() << " stages on " << topo_->to_string() << "; placement";
+  for (int r : stage_to_rank_) os << " " << r;
+  return os.str();
+}
+
+}  // namespace dynmo::cluster

@@ -1,0 +1,99 @@
+// Deployment: the one object every cost surface consumes.
+//
+// A Deployment binds the three cluster facts the train → profile → balance
+// → re-pack loop keeps needing — *who runs where, on what hardware, over
+// which links*:
+//
+//   Topology          the physical graph (nodes, typed links)
+//   stage_to_rank     the pipeline placement (stage s → global rank)
+//   per-rank GpuSpec  carried by the topology's nodes
+//
+// Before this type existed the same knowledge leaked through four side
+// channels (CostBuilder's first_global_rank, CostModel's crosses_nodes
+// bool, a single session-wide GpuSpec, topology-blind re-packing), which
+// silently disagreed with each other.  A Deployment is an immutable value:
+// construct it once (factories below), hand copies around freely (the
+// topology is shared, copies are cheap), and ask it for
+//
+//   link(stage_a, stage_b)  the effective link between two stages' hosts
+//   gpu(stage)              the GPU actually hosting a stage
+//   group(ranks)            node-grouped membership for hierarchical
+//                           collective pricing (comm::RankGroup)
+//   stage_capacities()      relative per-stage compute throughput, the
+//                           weights capacity-aware diffusion normalizes by
+//   make_cost_model()       a comm::CostModel resolved against this
+//                           deployment (links *and* node membership)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "cluster/topology.hpp"
+#include "comm/cost_model.hpp"
+#include "hw/gpu_spec.hpp"
+
+namespace dynmo::cluster {
+
+class Deployment {
+ public:
+  /// Bind an explicit placement.  Ranks must be valid topology ranks and
+  /// pairwise distinct.
+  static Deployment make(Topology topo, std::vector<int> stage_to_rank);
+  /// Greedy topology-aware placement (adjacent stages on the fastest
+  /// links); the default everything in the runtime uses.
+  static Deployment make_topology_aware(
+      Topology topo, int num_stages,
+      std::size_t activation_bytes = kDefaultActivationBytes);
+  /// Stage s → rank s.
+  static Deployment make_linear(Topology topo, int num_stages);
+
+  int num_stages() const { return static_cast<int>(stage_to_rank_.size()); }
+  const Topology& topology() const { return *topo_; }
+  std::span<const int> stage_to_rank() const { return stage_to_rank_; }
+  int rank(int stage) const;
+
+  /// The GPU hosting a stage.
+  const hw::GpuSpec& gpu(int stage) const;
+  /// Node hosting a stage.
+  int node(int stage) const;
+  /// Effective link between two stages' hosting ranks (shortest path over
+  /// the topology; a stage to itself is free).
+  comm::LinkParams link(int stage_a, int stage_b) const;
+
+  /// Node-grouped membership of a set of global ranks, with intra/inter
+  /// links taken from the topology (worst member intra link, worst
+  /// leader-pair effective link) — ready for the hierarchical collective
+  /// formulas of comm::CostModel.
+  comm::RankGroup group(std::span<const int> ranks) const;
+  /// group() over all stage-hosting ranks.
+  comm::RankGroup stage_group() const;
+
+  /// Relative per-stage compute throughput, normalized so the fastest
+  /// stage is 1.0 — the capacity weights heterogeneous balancing uses.
+  std::vector<double> stage_capacities() const;
+  /// Smallest per-stage device memory — the conservative per-worker cap
+  /// re-packing and balancing enforce.
+  double min_mem_capacity() const;
+  /// True when stages are hosted by GPUs of differing throughput.
+  bool heterogeneous() const;
+
+  /// CostModel resolved against this deployment: shortest-path links and
+  /// topology node membership (see Topology::make_cost_model).
+  comm::CostModel make_cost_model(comm::CostModelConfig base = {}) const;
+
+  std::string to_string() const;
+
+ private:
+  Deployment(std::shared_ptr<const Topology> topo,
+             std::vector<int> stage_to_rank);
+
+  std::shared_ptr<const Topology> topo_;
+  std::vector<int> stage_to_rank_;
+};
+
+}  // namespace dynmo::cluster

@@ -199,7 +199,6 @@ HierResult HierarchicalBalancer::balance(
   if (groups.size() > 1 && node_gap > cfg_.inter_node_trigger) {
     // Level 2: same protocol, one super-stage per node, capacity = the
     // node's aggregate throughput.  Only the node-boundary cuts move.
-    res.used_inter_node = true;
     balance::DiffusionRequest super;
     super.weights = req.weights;
     super.memory_bytes = req.memory_bytes;
@@ -227,8 +226,10 @@ HierResult HierarchicalBalancer::balance(
     res.rounds += super_res.rounds;
     converged = converged && super_res.converged;
 
-    // Re-split each node's (possibly shifted) layer range over its stages,
-    // then polish with another intra pass.
+    // Re-split each node's *shifted* layer range over its stages, then
+    // polish with another intra pass.  Nodes whose range did not move keep
+    // their current (already intra-polished) cuts — re-splitting them from
+    // scratch would churn layers for no balance gain.
     std::vector<std::size_t> bounds(static_cast<std::size_t>(S) + 1, 0);
     bounds.back() = map.num_layers();
     for (std::size_t gi = 0; gi < groups.size(); ++gi) {
@@ -239,6 +240,12 @@ HierResult HierarchicalBalancer::balance(
       std::vector<std::size_t> sub_bounds;
       if (hi == lo) {
         sub_bounds.assign(static_cast<std::size_t>(g.size()) + 1, 0);
+      } else if (lo == map.stage_begin(g.stage_begin) &&
+                 hi == map.stage_end(g.stage_end - 1)) {
+        sub_bounds.assign(
+            map.boundaries().begin() + g.stage_begin,
+            map.boundaries().begin() + g.stage_end + 1);
+        for (auto& b : sub_bounds) b -= lo;
       } else {
         // Partition (not greedy) so the re-split seed respects the
         // per-stage memory cap; the intra polish only blocks *new*
@@ -256,8 +263,29 @@ HierResult HierarchicalBalancer::balance(
             lo + sub_bounds[static_cast<std::size_t>(s - g.stage_begin)];
       }
     }
-    map = intra_pass(pipeline::StageMap::from_boundaries(std::move(bounds)),
-                     converged);
+    bool inter_converged = converged;
+    const pipeline::StageMap inter_map = intra_pass(
+        pipeline::StageMap::from_boundaries(std::move(bounds)),
+        inter_converged);
+
+    // Inter-node moves must pay for themselves: adopt the level-2 result
+    // only when it beats the intra-only bottleneck by the configured
+    // margin (capacity-normalized max load — what gates the pipeline).
+    const auto normalized_bottleneck = [&](const pipeline::StageMap& m) {
+      auto loads = m.stage_loads(w);
+      double worst = 0.0;
+      for (int s = 0; s < S; ++s) {
+        worst = std::max(worst, loads[static_cast<std::size_t>(s)] /
+                                    cap[static_cast<std::size_t>(s)]);
+      }
+      return worst;
+    };
+    if (normalized_bottleneck(inter_map) <
+        normalized_bottleneck(map) * (1.0 - cfg_.inter_node_gain)) {
+      res.used_inter_node = true;
+      converged = inter_converged;
+      map = inter_map;
+    }
   }
 
   res.imbalance_after = normalized_imbalance(map);

@@ -32,6 +32,13 @@ struct HierConfig {
   /// capacity-normalized *node totals* — the gap intra-node moves cannot
   /// close by construction — exceeds this ((max−min)/mean, Eq. 2).
   double inter_node_trigger = 0.05;
+  /// Adopt the inter-node result only when it improves the
+  /// capacity-normalized bottleneck over the intra-only map by at least
+  /// this fraction.  Inter-node moves ride the fabric, so they must pay
+  /// for themselves; without this guard an every-iteration cadence chases
+  /// node-total noise across InfiniBand (churn flat diffusion's local
+  /// moves never exhibit).
+  double inter_node_gain = 0.05;
   /// Normalize stage loads by each rank's GPU throughput (heterogeneous
   /// clusters); request-supplied capacities override this.
   bool capacity_aware = true;

@@ -202,14 +202,20 @@ double Topology::p2p_time(int rank_a, int rank_b, std::size_t bytes) const {
 
 comm::CostModel Topology::make_cost_model(comm::CostModelConfig base) const {
   const int R = num_ranks();
-  if (R > 0) {
-    // Collectives use the tier rule; keep its node grouping consistent
-    // with ours (exact only for uniform node sizes — heterogeneous pods
-    // should rely on the resolver-backed p2p path).
-    base.gpus_per_node = node_size(0);
-  }
   comm::CostModel model(base);
   if (R == 0) return model;
+  // This topology is the single source of node-membership truth: tier(),
+  // group(), and hierarchical collectives ask the resolver, never the
+  // uniform `gpus_per_node` rule (which silently disagrees the moment a
+  // preset's node size differs from the config's).
+  auto membership = std::make_shared<std::vector<int>>(rank_node_);
+  model.set_node_resolver([membership](int rank) -> int {
+    DYNMO_CHECK(rank >= 0 &&
+                    rank < static_cast<int>(membership->size()),
+                "rank " << rank << " outside the topology's "
+                        << membership->size() << " ranks");
+    return (*membership)[static_cast<std::size_t>(rank)];
+  });
   // Snapshot all-pairs effective links so the resolver owns its data and
   // the CostModel outlives this Topology.
   auto table = std::make_shared<std::vector<comm::LinkParams>>(

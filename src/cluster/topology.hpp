@@ -119,10 +119,12 @@ class Topology {
   double p2p_time(int rank_a, int rank_b, std::size_t bytes) const;
 
   // ----------------------------------------------------------- adapters
-  /// Flat CostModel whose p2p path prices every rank pair by this
-  /// topology's shortest-path effective link.  The all-pairs links are
-  /// snapshotted, so the CostModel stays valid after the Topology dies.
-  /// `base` supplies the collective/tier parameters.
+  /// CostModel whose p2p path prices every rank pair by this topology's
+  /// shortest-path effective link and whose node membership (tier(),
+  /// group(), hierarchical collectives) is this topology's — the
+  /// `gpus_per_node` fallback in `base` is never consulted.  All-pairs
+  /// links and the rank→node table are snapshotted, so the CostModel stays
+  /// valid after the Topology dies.  `base` supplies the tier parameters.
   comm::CostModel make_cost_model(comm::CostModelConfig base = {}) const;
 
   std::string to_string() const;

@@ -6,12 +6,25 @@
 // (NVSwitch, intra-node), InfiniBand NDR200 (inter-node), PCIe Gen5 (host
 // staging).  Collective costs use the textbook formulas for the algorithms
 // the Communicator implements (binomial tree, ring, direct exchange).
+//
+// Two pluggable resolvers let a cluster::Topology / cluster::Deployment own
+// the cluster facts instead of the flat `gpus_per_node` rule:
+//   * LinkResolver — per-rank-pair effective link for point-to-point
+//     transfers (shortest path over the real graph).
+//   * NodeResolver — rank → node membership, so tier() and group() agree
+//     with the topology even when node sizes are non-uniform or differ from
+//     `CostModelConfig::gpus_per_node`.
+// The RankGroup overloads of the collective formulas compute *hierarchical*
+// costs (reduce-scatter inside each node, ring across node leaders) and
+// reduce exactly to the flat formulas when the group spans a single node.
 #pragma once
 
 #include <cstddef>
 #include <cmath>
 #include <functional>
+#include <span>
 #include <utility>
+#include <vector>
 
 namespace dynmo::comm {
 
@@ -22,6 +35,16 @@ struct LinkParams {
   double alpha_s;        ///< latency, seconds
   double beta_bytes_s;   ///< bandwidth, bytes/second
 };
+
+/// Reference payload for ranking links worst-first (a typical transformer
+/// layer's 64 MiB migration state — the same payload cluster::Topology
+/// selects paths with); only breaks ties between latency-heavy and
+/// bandwidth-heavy links.
+inline constexpr std::size_t kLinkRefBytes = 64u << 20;
+
+inline double link_ref_time(const LinkParams& lp) {
+  return lp.alpha_s + static_cast<double>(kLinkRefBytes) / lp.beta_bytes_s;
+}
 
 struct CostModelConfig {
   // H100 SXM5 node: NVLink4 x6 ~ 900 GB/s per GPU pair-aggregate; we model
@@ -34,7 +57,26 @@ struct CostModelConfig {
   // 100GbE TCP fallback for commodity clusters: ~12.5 GB/s line rate,
   // tens-of-microseconds latency through the kernel stack.
   LinkParams ethernet{30e-6, 12.5e9};
-  int gpus_per_node = 4;  ///< paper testbed: 4x H100 per node
+  /// Uniform-node-size fallback for node membership (paper testbed: 4x H100
+  /// per node).  Only consulted when no NodeResolver is installed; a
+  /// Topology/Deployment-backed model is the single source of membership
+  /// truth and this value is ignored.
+  int gpus_per_node = 4;
+};
+
+/// Node-grouped membership of a set of ranks, plus the two links the
+/// hierarchical collective formulas price by.  Built by CostModel::group()
+/// (tier parameters) or cluster::Deployment::group() (the topology's actual
+/// worst member links); can also be assembled by hand for what-if costing.
+struct RankGroup {
+  std::vector<int> node_sizes;  ///< members per distinct node, all >= 1
+  LinkParams intra{0.0, 0.0};   ///< link within a node
+  LinkParams inter{0.0, 0.0};   ///< link between node leaders
+
+  int num_nodes() const { return static_cast<int>(node_sizes.size()); }
+  int total_ranks() const;
+  int max_node_size() const;
+  int min_node_size() const;
 };
 
 class CostModel {
@@ -42,8 +84,10 @@ class CostModel {
   /// Per-rank-pair link override.  When set, point-to-point transfers are
   /// priced by whatever the resolver returns (e.g. the shortest-path
   /// effective link of a cluster::Topology) instead of the flat two-tier
-  /// same-node/cross-node rule.  Collectives keep the tier formulas.
+  /// same-node/cross-node rule.
   using LinkResolver = std::function<LinkParams(int rank_a, int rank_b)>;
+  /// Rank → node membership override (non-uniform node sizes).
+  using NodeResolver = std::function<int(int rank)>;
 
   explicit CostModel(CostModelConfig cfg = {}) : cfg_(cfg) {}
 
@@ -54,13 +98,20 @@ class CostModel {
   }
   bool has_link_resolver() const { return static_cast<bool>(resolver_); }
 
+  void set_node_resolver(NodeResolver resolver) {
+    node_resolver_ = std::move(resolver);
+  }
+  bool has_node_resolver() const { return static_cast<bool>(node_resolver_); }
+
   /// Which tier connects two global ranks (same node → NVLink).
   LinkTier tier(int rank_a, int rank_b) const {
     return node_of(rank_a) == node_of(rank_b) ? LinkTier::NvLink
                                               : LinkTier::InfiniBand;
   }
 
-  int node_of(int rank) const { return rank / cfg_.gpus_per_node; }
+  int node_of(int rank) const {
+    return node_resolver_ ? node_resolver_(rank) : rank / cfg_.gpus_per_node;
+  }
 
   /// Effective link between two ranks: resolver if set, tier rule otherwise.
   LinkParams link(int rank_a, int rank_b) const {
@@ -73,15 +124,25 @@ class CostModel {
     return lp.alpha_s + static_cast<double>(bytes) / lp.beta_bytes_s;
   }
 
+  /// Node-grouped membership of `ranks` under this model's membership rule,
+  /// with intra/inter links resolved to the worst (slowest for a reference
+  /// payload) member pair when a link resolver is installed, tier
+  /// parameters otherwise.
+  RankGroup group(std::span<const int> ranks) const;
+
+  // ------------------------------------------------- flat collectives
+  // Uniform-link formulas: every hop is priced at one tier, chosen by the
+  // `crosses_nodes` bit.  Kept for synthetic clusters (e.g. pricing a DP
+  // ring whose replicas are outside the topology); the RankGroup overloads
+  // below are the hierarchical versions every Deployment consumer uses.
+
   /// Ring allreduce over n ranks: 2(n-1)/n * bytes over the slowest link,
   /// plus 2(n-1) latency terms.
   double allreduce_time(int n, std::size_t bytes, bool crosses_nodes) const {
     if (n <= 1) return 0.0;
-    const LinkParams& lp =
-        params(crosses_nodes ? LinkTier::InfiniBand : LinkTier::NvLink);
-    const double nn = static_cast<double>(n);
-    return 2.0 * (nn - 1.0) * lp.alpha_s +
-           2.0 * (nn - 1.0) / nn * static_cast<double>(bytes) / lp.beta_bytes_s;
+    return ring_allreduce(params(crosses_nodes ? LinkTier::InfiniBand
+                                               : LinkTier::NvLink),
+                          n, static_cast<double>(bytes));
   }
 
   /// Binomial broadcast: ceil(log2 n) * (alpha + bytes/beta).
@@ -105,6 +166,22 @@ class CostModel {
            (lp.alpha_s + static_cast<double>(bytes_per_peer) / lp.beta_bytes_s);
   }
 
+  // ------------------------------------------ hierarchical collectives
+  // Group-aware formulas over the real node membership:
+  //   allreduce — reduce-scatter + allgather inside each node (NVLink),
+  //               ring allreduce of the per-node shards across node leaders;
+  //   broadcast — binomial across node leaders, then binomial inside nodes;
+  //   alltoall  — 2D exchange: regroup by rail inside the node, then one
+  //               aggregated message per remote node along the rails.
+  // Each reduces exactly to the matching flat intra-node formula when the
+  // group spans one node, and to the flat cross-node formula when every
+  // node holds a single member.  Non-uniform node sizes are gated by the
+  // worst node (largest for intra phases, smallest shard for inter).
+
+  double allreduce_time(const RankGroup& g, std::size_t bytes) const;
+  double broadcast_time(const RankGroup& g, std::size_t bytes) const;
+  double alltoall_time(const RankGroup& g, std::size_t bytes_per_peer) const;
+
   const LinkParams& params(LinkTier t) const {
     switch (t) {
       case LinkTier::NvLink: return cfg_.nvlink;
@@ -116,8 +193,15 @@ class CostModel {
   }
 
  private:
+  static double ring_allreduce(const LinkParams& lp, int n, double bytes) {
+    const double nn = static_cast<double>(n);
+    return 2.0 * (nn - 1.0) * lp.alpha_s +
+           2.0 * (nn - 1.0) / nn * bytes / lp.beta_bytes_s;
+  }
+
   CostModelConfig cfg_;
   LinkResolver resolver_;
+  NodeResolver node_resolver_;
 };
 
 }  // namespace dynmo::comm

@@ -11,10 +11,30 @@
 //   dynmo::Session session(model, dynmo::UseCase::EarlyExit, opt);
 //   auto result = session.run();
 //
-// Multi-node clusters: set opt.session.topology (cluster::Topology presets
-// or a hand-built graph) and the session prices migrations by the actual
-// links and places stages topology-aware.  cluster::HierarchicalBalancer
-// offers the two-level (intra-node first) diffusion variant directly.
+// Multi-node clusters: describe where the pipeline runs with a
+// cluster::Deployment — a Topology (presets: Topology::make_dgx_h100(n),
+// make_dgx_a100(n), make_hetero(nodes, inter)) bound to a stage→rank
+// placement and, through the topology's nodes, a per-rank hw::GpuSpec:
+//
+//   auto dep = cluster::Deployment::make_topology_aware(
+//       cluster::Topology::make_dgx_h100(2), /*num_stages=*/16);
+//   opt.session.deployment = dep;
+//   opt.session.algorithm = balance::Algorithm::HierarchicalDiffusion;
+//
+// Every cost surface then consumes the deployment: boundary activation
+// sends and layer migrations are priced by the links the hosting ranks
+// actually share, each stage's compute by its own GPU (heterogeneous mixes
+// via Deployment::gpu / capacity-weighted diffusion), collectives by the
+// hierarchical node-grouped formulas (Deployment::group), and re-packing
+// prefers vacating whole nodes.  Algorithm::HierarchicalDiffusion runs
+// cluster::HierarchicalBalancer inside the session loop (intra-node moves
+// first, inter-node only when node totals are out of balance) —
+// SessionResult::inter_node_migration_bytes shows the fabric traffic it
+// saves over flat Diffusion.
+//
+// Migration path: the old opt.session.topology (bare cluster::Topology)
+// still works as a deprecated shim — the session upgrades it to
+// Deployment::make_topology_aware(topology, pipeline_stages).
 //
 // Everything the facade does is available piecemeal through the subsystem
 // headers (balance/, dynamic/, pipeline/, repack/, runtime/) for users who
@@ -23,6 +43,7 @@
 
 #include <memory>
 
+#include "cluster/deployment.hpp"
 #include "cluster/hier_balancer.hpp"
 #include "cluster/placement.hpp"
 #include "cluster/topology.hpp"

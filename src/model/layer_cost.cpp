@@ -120,4 +120,20 @@ double LayerCostModel::activation_message_bytes(const LayerDesc& layer,
          static_cast<double>(layer.hidden) * 2.0;
 }
 
+StageCostModels::StageCostModels(LayerCostModel reference,
+                                 std::span<const hw::GpuSpec> stage_gpus)
+    : reference_(reference) {
+  per_stage_.reserve(stage_gpus.size());
+  for (const hw::GpuSpec& spec : stage_gpus) {
+    per_stage_.emplace_back(hw::KernelCostModel(spec), reference.memory());
+  }
+}
+
+const LayerCostModel& StageCostModels::stage(int stage) const {
+  if (per_stage_.empty()) return reference_;
+  DYNMO_CHECK(stage >= 0 && stage < num_stages(),
+              "bad stage " << stage << " (have " << num_stages() << ")");
+  return per_stage_[static_cast<std::size_t>(stage)];
+}
+
 }  // namespace dynmo::model

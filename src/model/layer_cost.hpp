@@ -17,6 +17,9 @@
 //   MoE          — `moe_load` scales expert FFN time (routing skew)
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "hw/kernel_cost.hpp"
 #include "hw/memory_model.hpp"
 #include "model/layer.hpp"
@@ -62,6 +65,36 @@ class LayerCostModel {
 
   hw::KernelCostModel kernels_;
   hw::MemoryModel memory_;
+};
+
+/// Per-stage layer cost models for heterogeneous deployments.
+///
+/// Balancing weights stay in one currency — the *reference* GPU's seconds —
+/// and capacity-weighted diffusion converts between GPUs; but the simulated
+/// timeline must charge each stage the time of the GPU actually hosting it.
+/// StageCostModels carries both: `reference()` prices the profile,
+/// `stage(s)` prices execution.  Default-constructed (or from a single
+/// LayerCostModel) it is uniform and `stage(s)` is the reference — the
+/// homogeneous fast path.
+class StageCostModels {
+ public:
+  StageCostModels() = default;
+  /* implicit */ StageCostModels(LayerCostModel reference)
+      : reference_(reference) {}
+  /// Per-stage GPUs; memory accounting stays on the reference memory model
+  /// (device-independent residency bookkeeping).
+  StageCostModels(LayerCostModel reference,
+                  std::span<const hw::GpuSpec> stage_gpus);
+
+  const LayerCostModel& reference() const { return reference_; }
+  /// Cost model of the GPU hosting `stage`; the reference when uniform.
+  const LayerCostModel& stage(int stage) const;
+  bool per_stage() const { return !per_stage_.empty(); }
+  int num_stages() const { return static_cast<int>(per_stage_.size()); }
+
+ private:
+  LayerCostModel reference_{};
+  std::vector<LayerCostModel> per_stage_;
 };
 
 }  // namespace dynmo::model

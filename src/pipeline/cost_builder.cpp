@@ -6,16 +6,26 @@
 
 namespace dynmo::pipeline {
 
+int CostBuilder::rank_of_stage(int stage) const {
+  if (cfg_.stage_to_rank.empty()) return stage;
+  DYNMO_CHECK(stage >= 0 &&
+                  stage < static_cast<int>(cfg_.stage_to_rank.size()),
+              "stage " << stage << " outside the placement's "
+                       << cfg_.stage_to_rank.size() << " stages");
+  return cfg_.stage_to_rank[static_cast<std::size_t>(stage)];
+}
+
 std::vector<model::LayerTimes> CostBuilder::layer_times(
     std::span<const model::LayerState> states) const {
   DYNMO_CHECK(states.size() == model_->num_layers(),
               "state count " << states.size() << " != layer count "
                              << model_->num_layers());
+  const model::LayerCostModel& ref = stage_costs_.reference();
   std::vector<model::LayerTimes> times;
   times.reserve(states.size());
   for (std::size_t l = 0; l < states.size(); ++l) {
     times.push_back(
-        layer_costs_.layer_times(model_->layers[l], states[l], cfg_.micro_batch));
+        ref.layer_times(model_->layers[l], states[l], cfg_.micro_batch));
   }
   return times;
 }
@@ -33,6 +43,7 @@ std::vector<double> CostBuilder::layer_memory_bytes(
     std::span<const model::LayerState> states, const StageMap& map) const {
   DYNMO_CHECK(states.size() == model_->num_layers(), "state count mismatch");
   DYNMO_CHECK(map.num_layers() == model_->num_layers(), "map layer mismatch");
+  const model::LayerCostModel& ref = stage_costs_.reference();
   std::vector<double> mem;
   mem.reserve(states.size());
   for (std::size_t l = 0; l < states.size(); ++l) {
@@ -41,7 +52,7 @@ std::vector<double> CostBuilder::layer_memory_bytes(
     const int s = map.stage_of(l);
     const int resident =
         std::min(cfg_.num_microbatches, map.num_stages() - s);
-    mem.push_back(layer_costs_.layer_memory_bytes(
+    mem.push_back(ref.layer_memory_bytes(
         model_->layers[l], states[l], cfg_.micro_batch,
         static_cast<std::size_t>(std::max(1, resident))));
   }
@@ -51,43 +62,43 @@ std::vector<double> CostBuilder::layer_memory_bytes(
 StageCosts CostBuilder::build(std::span<const model::LayerState> states,
                               const StageMap& map,
                               const MicrobatchScaleFn& mb_scale) const {
-  const auto times = layer_times(states);
+  DYNMO_CHECK(states.size() == model_->num_layers(), "state count mismatch");
   const int S = map.num_stages();
   StageCosts costs(S, cfg_.num_microbatches);
 
   for (int s = 0; s < S; ++s) {
-    for (int mb = 0; mb < cfg_.num_microbatches; ++mb) {
-      double f = 0.0;
-      double bi = 0.0;
-      double bw = 0.0;
-      for (std::size_t l = map.stage_begin(s); l < map.stage_end(s); ++l) {
+    // Each stage's compute is charged on the GPU actually hosting it.
+    const model::LayerCostModel& lc = stage_costs_.stage(s);
+    for (std::size_t l = map.stage_begin(s); l < map.stage_end(s); ++l) {
+      const auto t =
+          lc.layer_times(model_->layers[l], states[l], cfg_.micro_batch);
+      for (int mb = 0; mb < cfg_.num_microbatches; ++mb) {
         const double scale = mb_scale ? std::max(0.0, mb_scale(l, mb)) : 1.0;
-        f += times[l].forward_s * scale;
-        bi += times[l].backward_input_s * scale;
-        bw += times[l].backward_weight_s * scale;
+        costs.fwd(s, mb) += t.forward_s * scale;
+        costs.bwd_input(s, mb) += t.backward_input_s * scale;
+        costs.bwd_weight(s, mb) += t.backward_weight_s * scale;
       }
-      costs.fwd(s, mb) = f;
-      costs.bwd_input(s, mb) = bi;
-      costs.bwd_weight(s, mb) = bw;
     }
   }
 
-  // Inter-stage transfer: activations of the boundary layer.
+  // Inter-stage transfer: activations of the boundary layer, over the link
+  // the two hosting ranks actually share.
+  const model::LayerCostModel& ref = stage_costs_.reference();
   for (int s = 0; s + 1 < S; ++s) {
     double bytes = 0.0;
     if (map.stage_size(s) > 0) {
       const std::size_t boundary = map.stage_end(s) - 1;
-      bytes = layer_costs_.activation_message_bytes(
+      bytes = ref.activation_message_bytes(
           model_->layers[boundary], states[boundary], cfg_.micro_batch);
     } else if (map.num_layers() > 0) {
       // Empty stage forwards its input unchanged.
       const std::size_t prev = map.stage_begin(s) > 0 ? map.stage_begin(s) - 1 : 0;
-      bytes = layer_costs_.activation_message_bytes(model_->layers[prev],
-                                                    states[prev],
-                                                    cfg_.micro_batch);
+      bytes = ref.activation_message_bytes(model_->layers[prev],
+                                           states[prev],
+                                           cfg_.micro_batch);
     }
-    costs.send(s) = comm_costs_.p2p_time(cfg_.first_global_rank + s,
-                                         cfg_.first_global_rank + s + 1,
+    costs.send(s) = comm_costs_.p2p_time(rank_of_stage(s),
+                                         rank_of_stage(s + 1),
                                          static_cast<std::size_t>(bytes));
   }
   return costs;

@@ -1,6 +1,16 @@
 // Builds StageCosts for one iteration from the model description, the
 // dynamic layer states, a stage map, and the hardware cost models.
 //
+// Cluster knowledge arrives through two deployment-derived inputs instead
+// of the old `first_global_rank + stage` guess:
+//   * `CostBuilderConfig::stage_to_rank` — stage s runs on that global
+//     rank, so boundary activation sends are priced by the link the two
+//     hosting ranks actually share (a cluster::Deployment-backed
+//     comm::CostModel resolves it to the shortest-path effective link);
+//   * `model::StageCostModels` — per-stage GPU specs, so a stage hosted by
+//     a slower GPU is charged that GPU's compute time (heterogeneous
+//     clusters), while balancing weights stay in reference-GPU seconds.
+//
 // An optional per-(layer, microbatch) scale hook lets dynamism engines whose
 // load fluctuates *within* an iteration (MoE and MoD token routing differs
 // per microbatch) perturb individual microbatches, which is exactly the
@@ -9,6 +19,7 @@
 
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "comm/cost_model.hpp"
 #include "model/layer_cost.hpp"
@@ -20,21 +31,24 @@ namespace dynmo::pipeline {
 struct CostBuilderConfig {
   std::size_t micro_batch = 2;
   int num_microbatches = 4;
-  /// Global ranks hosting consecutive stages are assumed consecutive, so the
-  /// comm cost model can decide NVLink vs InfiniBand per boundary.
-  int first_global_rank = 0;
+  /// Stage s runs on global rank stage_to_rank[s]; empty → stage s is rank
+  /// s.  Boundary sends are priced over these ranks.
+  std::vector<int> stage_to_rank{};
 };
 
 using MicrobatchScaleFn = std::function<double(std::size_t layer, int mb)>;
 
 class CostBuilder {
  public:
-  CostBuilder(const model::ModelDesc& model, model::LayerCostModel layer_costs,
+  /// `stage_costs` may be a bare model::LayerCostModel (uniform hardware)
+  /// or a full per-stage set from a heterogeneous deployment.
+  CostBuilder(const model::ModelDesc& model, model::StageCostModels stage_costs,
               comm::CostModel comm_costs, CostBuilderConfig cfg)
-      : model_(&model), layer_costs_(layer_costs), comm_costs_(comm_costs),
-        cfg_(cfg) {}
+      : model_(&model), stage_costs_(std::move(stage_costs)),
+        comm_costs_(std::move(comm_costs)), cfg_(std::move(cfg)) {}
 
-  /// Per-layer times for the current states (one microbatch).
+  /// Per-layer times for the current states (one microbatch) on the
+  /// *reference* GPU — the profile currency the balancers consume.
   std::vector<model::LayerTimes> layer_times(
       std::span<const model::LayerState> states) const;
 
@@ -47,18 +61,27 @@ class CostBuilder {
   std::vector<double> layer_memory_bytes(
       std::span<const model::LayerState> states, const StageMap& map) const;
 
-  /// Assemble the full StageCosts table for one iteration.
+  /// Assemble the full StageCosts table for one iteration: compute per
+  /// stage on the stage's own GPU, boundary sends over the stages' ranks.
   StageCosts build(std::span<const model::LayerState> states,
                    const StageMap& map,
                    const MicrobatchScaleFn& mb_scale = {}) const;
 
+  /// Global rank hosting a stage (identity when no placement is set).
+  int rank_of_stage(int stage) const;
+
   const CostBuilderConfig& config() const { return cfg_; }
-  const model::LayerCostModel& layer_cost_model() const { return layer_costs_; }
+  const model::LayerCostModel& layer_cost_model() const {
+    return stage_costs_.reference();
+  }
+  const model::StageCostModels& stage_cost_models() const {
+    return stage_costs_;
+  }
   const comm::CostModel& comm_cost_model() const { return comm_costs_; }
 
  private:
   const model::ModelDesc* model_;
-  model::LayerCostModel layer_costs_;
+  model::StageCostModels stage_costs_;
   comm::CostModel comm_costs_;
   CostBuilderConfig cfg_;
 };

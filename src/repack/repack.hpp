@@ -10,11 +10,17 @@
 //    produces a new contiguous StageMap over the surviving workers (pipeline
 //    stages must stay contiguous in model order), leaving released trailing
 //    workers with empty stages.
+//
+// Both entry points have a cluster::Deployment-aware overload that prefers
+// vacating *whole nodes*: a fully emptied node can be handed back to the
+// job manager as a schedulable unit, and the survivors stay NVLink-adjacent
+// instead of straddling a half-empty node.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "cluster/deployment.hpp"
 #include "pipeline/stage_map.hpp"
 
 namespace dynmo::repack {
@@ -30,6 +36,7 @@ struct FirstFitResult {
   std::vector<bool> active;          ///< per-worker, after consolidation
   std::vector<double> mem_usage;     ///< per-worker, after consolidation
   std::vector<std::size_t> num_layers;  ///< per-worker, after consolidation
+  int nodes_freed = 0;  ///< whole nodes emptied (deployment overload only)
   int active_workers() const;
 };
 
@@ -39,6 +46,17 @@ struct FirstFitResult {
 FirstFitResult repack_first_fit(std::vector<double> mem_usage,
                                 std::vector<std::size_t> num_layers,
                                 double max_mem, int target_num_workers);
+
+/// Node-aware Algorithm 2: worker w is deployment stage w.  Nodes are
+/// vacated atomically, easiest (fewest active workers, least memory)
+/// first; a node moves only if *all* of its workers fit onto survivors on
+/// other nodes, with each source poured into the fullest fitting survivor
+/// so light nodes drain into heavy ones.  Partial vacations are not
+/// attempted — a half-empty node frees no schedulable unit.
+FirstFitResult repack_first_fit(std::vector<double> mem_usage,
+                                std::vector<std::size_t> num_layers,
+                                double max_mem, int target_num_workers,
+                                const cluster::Deployment& deployment);
 
 struct ContiguousRepackRequest {
   std::vector<double> memory_bytes;  ///< per layer
@@ -53,6 +71,7 @@ struct ContiguousRepackResult {
   pipeline::StageMap map;   ///< same stage count; trailing stages empty
   int active_workers = 0;
   bool feasible = true;     ///< false if even all workers cannot hold it
+  int whole_nodes_freed = 0;  ///< deployment overload: nodes fully vacated
 };
 
 /// Pack layers (in model order) into the fewest prefix workers whose memory
@@ -61,5 +80,17 @@ struct ContiguousRepackResult {
 /// that many workers even if fewer would fit.
 ContiguousRepackResult repack_contiguous(const ContiguousRepackRequest& req,
                                          int num_workers);
+
+/// Node-aware variant: worker w is deployment stage w (stages hosted by one
+/// node are contiguous under cluster placements).  When the packer chooses
+/// the survivor count (`target_workers` <= 0), it is snapped *up* to the
+/// deployment's next node boundary whenever the release still frees at
+/// least one whole node — keeping a node's tail workers busy costs a few
+/// GPUs but turns the release into whole schedulable nodes; when no whole
+/// node can be freed the memory-minimal pack is kept as-is (a partial
+/// release beats none).  An explicit `target_workers` is honored exactly.
+ContiguousRepackResult repack_contiguous(const ContiguousRepackRequest& req,
+                                         int num_workers,
+                                         const cluster::Deployment& deployment);
 
 }  // namespace dynmo::repack

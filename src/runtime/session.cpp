@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "cluster/placement.hpp"
+#include "cluster/hier_balancer.hpp"
 #include "core/error.hpp"
 #include "core/log.hpp"
 #include "core/rng.hpp"
@@ -11,6 +11,61 @@
 #include "dynamic/freezing.hpp"
 
 namespace dynmo::runtime {
+
+namespace {
+
+/// Resolve the session's Deployment: explicit > topology shim > none.
+std::optional<cluster::Deployment> resolve_deployment(
+    const SessionConfig& cfg) {
+  DYNMO_CHECK(cfg.pipeline_stages > 0, "need at least one stage");
+  if (cfg.deployment) {
+    DYNMO_CHECK(cfg.deployment->num_stages() == cfg.pipeline_stages,
+                "deployment covers " << cfg.deployment->num_stages()
+                                     << " stages, pipeline needs "
+                                     << cfg.pipeline_stages);
+    return cfg.deployment;
+  }
+  if (cfg.topology) {
+    return cluster::Deployment::make_topology_aware(*cfg.topology,
+                                                    cfg.pipeline_stages);
+  }
+  return std::nullopt;
+}
+
+/// Per-stage cost models: each stage priced on its own GPU, balancer
+/// weights on the fastest stage GPU (capacities normalize against it).
+model::StageCostModels make_stage_costs(
+    const SessionConfig& cfg,
+    const std::optional<cluster::Deployment>& dep) {
+  if (!dep) return model::LayerCostModel(cfg.gpu);
+  std::vector<hw::GpuSpec> gpus;
+  gpus.reserve(static_cast<std::size_t>(dep->num_stages()));
+  int fastest = 0;
+  for (int s = 0; s < dep->num_stages(); ++s) {
+    gpus.push_back(dep->gpu(s));
+    if (dep->topology().relative_speed(dep->rank(s)) >
+        dep->topology().relative_speed(dep->rank(fastest))) {
+      fastest = s;
+    }
+  }
+  return model::StageCostModels(
+      model::LayerCostModel(gpus[static_cast<std::size_t>(fastest)]), gpus);
+}
+
+pipeline::CostBuilderConfig make_builder_config(
+    const SessionConfig& cfg,
+    const std::optional<cluster::Deployment>& dep) {
+  pipeline::CostBuilderConfig bc;
+  bc.micro_batch = cfg.micro_batch;
+  bc.num_microbatches = cfg.num_microbatches;
+  if (dep) {
+    bc.stage_to_rank.assign(dep->stage_to_rank().begin(),
+                            dep->stage_to_rank().end());
+  }
+  return bc;
+}
+
+}  // namespace
 
 const char* to_string(BalancingMode m) {
   switch (m) {
@@ -27,23 +82,26 @@ TrainingSession::TrainingSession(const model::ModelDesc& model,
                                  SessionConfig cfg,
                                  dynamic::DynamismEngine* engine)
     : model_(&model), cfg_(cfg), engine_(engine),
-      layer_costs_(cfg.gpu),
-      net_(cfg.topology ? cfg.topology->make_cost_model(cfg.net)
-                        : comm::CostModel(cfg.net)),
-      builder_(model, layer_costs_, net_,
-               pipeline::CostBuilderConfig{cfg.micro_batch,
-                                           cfg.num_microbatches, 0}) {
-  DYNMO_CHECK(cfg.pipeline_stages > 0, "need at least one stage");
-  DYNMO_CHECK(!cfg.topology ||
-                  cfg.topology->num_ranks() >= cfg.pipeline_stages,
-              "topology has " << cfg.topology->num_ranks()
-                              << " ranks, pipeline needs "
-                              << cfg.pipeline_stages);
+      deployment_(resolve_deployment(cfg)),
+      stage_costs_(make_stage_costs(cfg, deployment_)),
+      net_(deployment_ ? deployment_->make_cost_model(cfg.net)
+                       : comm::CostModel(cfg.net)),
+      builder_(model, stage_costs_, net_,
+               make_builder_config(cfg, deployment_)) {
   DYNMO_CHECK(cfg.iterations > 0, "need at least one iteration");
   DYNMO_CHECK(cfg.sim_stride > 0, "stride must be positive");
+  DYNMO_CHECK(cfg.mode != BalancingMode::DynMo ||
+                  cfg.algorithm != balance::Algorithm::HierarchicalDiffusion ||
+                  deployment_,
+              "HierarchicalDiffusion needs a deployment (or topology)");
   DYNMO_CHECK(static_cast<std::size_t>(cfg.pipeline_stages) <=
                   model.num_layers(),
               "more stages than layers");
+}
+
+double TrainingSession::stage_mem_capacity(int stage) const {
+  return deployment_ ? deployment_->gpu(stage).mem_capacity
+                     : cfg_.gpu.mem_capacity;
 }
 
 double TrainingSession::tokens_per_iteration() const {
@@ -75,9 +133,15 @@ double TrainingSession::dp_allreduce_exposed_s(
     }
     worst_bytes = std::max(worst_bytes, bytes);
   }
-  const double full = net_.allreduce_time(
-      cfg_.data_parallel, static_cast<std::size_t>(worst_bytes),
-      /*crosses_nodes=*/true);
+  // Each DP replica is a separate pipeline on its own nodes, so the ring
+  // crosses the fabric between every pair: a group of singleton nodes —
+  // numerically identical to the flat cross-node ring formula.
+  comm::RankGroup dp_group;
+  dp_group.node_sizes.assign(static_cast<std::size_t>(cfg_.data_parallel), 1);
+  dp_group.intra = net_.params(comm::LinkTier::NvLink);
+  dp_group.inter = net_.params(comm::LinkTier::InfiniBand);
+  const double full =
+      net_.allreduce_time(dp_group, static_cast<std::size_t>(worst_bytes));
   return full * (1.0 - std::clamp(cfg_.dp_overlap, 0.0, 1.0));
 }
 
@@ -95,7 +159,10 @@ void TrainingSession::apply_tutel_mitigation(
 
 SessionResult TrainingSession::run() {
   const int S0 = cfg_.pipeline_stages;
-  const double mem_capacity = cfg_.gpu.mem_capacity;
+  // Conservative per-worker cap: the smallest stage GPU gates feasibility
+  // of maps the balancers and the packer may produce.
+  const double mem_capacity =
+      deployment_ ? deployment_->min_mem_capacity() : cfg_.gpu.mem_capacity;
 
   std::vector<model::LayerState> states(model_->num_layers());
 
@@ -117,15 +184,39 @@ SessionResult TrainingSession::run() {
   }
   int active = S0;
 
-  balance::RebalanceConfig rb_cfg{cfg_.algorithm, cfg_.balance_by,
-                                  mem_capacity, 0.0, 2e-6, 10e-6};
-  if (cfg_.topology) {
-    // Topology-aware placement: adjacent stages sit on the fastest links,
-    // and migrations are priced over the ranks they actually connect.
-    rb_cfg.stage_to_rank =
-        cluster::place_topology_aware(*cfg_.topology, S0).stage_to_rank;
+  balance::RebalanceConfig rb_cfg;
+  rb_cfg.algorithm = cfg_.algorithm;
+  rb_cfg.by = cfg_.balance_by;
+  rb_cfg.mem_capacity = mem_capacity;
+  if (deployment_) {
+    // The deployment's placement prices migrations over the ranks they
+    // actually connect, and its capacities make heterogeneous stages
+    // converge to loads proportional to their GPUs' throughput.
+    rb_cfg.stage_to_rank.assign(deployment_->stage_to_rank().begin(),
+                                deployment_->stage_to_rank().end());
+    rb_cfg.capacities = deployment_->stage_capacities();
+    if (cfg_.algorithm == balance::Algorithm::HierarchicalDiffusion) {
+      // Inject the two-level balancer (cluster/ sits above balance/, so
+      // the orchestrator cannot reach it itself).
+      rb_cfg.hierarchical_decider =
+          [this](const balance::DiffusionRequest& req,
+                 const pipeline::StageMap& current) {
+            return cluster::HierarchicalBalancer(deployment_->topology())
+                .balance(req, current, deployment_->stage_to_rank())
+                .map;
+          };
+    }
   }
   balance::Rebalancer rebalancer(rb_cfg, net_);
+
+  const auto record_migration_split = [&](const balance::MigrationPlan& plan,
+                                          double scale, SessionResult& res) {
+    if (!deployment_ || plan.empty()) return;
+    const auto split = cluster::classify_migration(
+        plan, deployment_->topology(), deployment_->stage_to_rank());
+    res.intra_node_migration_bytes += split.intra_node_bytes * scale;
+    res.inter_node_migration_bytes += split.inter_node_bytes * scale;
+  };
 
   const std::int64_t interval = effective_rebalance_interval();
   Rng noise_rng(hash_mix(cfg_.seed, 0x7e55));
@@ -179,6 +270,7 @@ SessionResult TrainingSession::run() {
 
       const auto outcome = rebalancer.rebalance(profile, map);
       map = outcome.map;
+      record_migration_split(outcome.migration, events_per_window, res);
       balance::OverheadBreakdown scaled = outcome.overhead;
       // Every-iteration rebalancing couples migration with backprop; only
       // the non-overlapped remainder is exposed.
@@ -216,12 +308,28 @@ SessionResult TrainingSession::run() {
               break;
             }
           }
+          // Policy-derived target on a deployment: release whole nodes —
+          // snap up to the next node boundary (keeping extra workers can
+          // only help the bottleneck) unless that cancels the release.
+          if (deployment_) {
+            int snapped = target;
+            while (snapped < active &&
+                   deployment_->node(snapped) ==
+                       deployment_->node(snapped - 1)) {
+              ++snapped;
+            }
+            if (snapped < active) target = snapped;
+          }
         }
         repack::ContiguousRepackRequest req;
         req.memory_bytes = mem;
         req.mem_capacity = mem_capacity;
         req.target_workers = target;
-        const auto rp = repack::repack_contiguous(req, active);
+        // Deployment-aware packing prefers vacating whole nodes.
+        const auto rp = deployment_
+                            ? repack::repack_contiguous(req, active,
+                                                        *deployment_)
+                            : repack::repack_contiguous(req, active);
         if (!rp.feasible && cfg_.repack_target_workers > 0) {
           res.oom = true;  // forced pack does not fit (Fig. 4 OOM cells)
         } else if (rp.feasible && rp.active_workers < active) {
@@ -237,6 +345,7 @@ SessionResult TrainingSession::run() {
               rb_cfg.stage_to_rank.empty()
                   ? migration.estimated_time_s(net_)
                   : migration.estimated_time_s(net_, rb_cfg.stage_to_rank);
+          record_migration_split(migration, 1.0, res);
           event_time += migrate_s;
           res.overhead.migrate_s += migrate_s;
           map = packed;
@@ -254,13 +363,15 @@ SessionResult TrainingSession::run() {
     const auto pipe = pipeline::simulate(cfg_.schedule, costs);
     iter_time += pipe.makespan_s + dp_allreduce_exposed_s(map, states);
 
-    // Memory accounting (for OOM detection and Fig. 4).
+    // Memory accounting (for OOM detection and Fig. 4): every stage is
+    // checked against the capacity of the GPU actually hosting it.
     {
       const auto stage_mem = map.stage_loads(mem);
-      const double peak =
-          *std::max_element(stage_mem.begin(), stage_mem.end());
-      res.peak_stage_memory = std::max(res.peak_stage_memory, peak);
-      if (peak > mem_capacity) res.oom = true;
+      for (int s = 0; s < map.num_stages(); ++s) {
+        const double used = stage_mem[static_cast<std::size_t>(s)];
+        res.peak_stage_memory = std::max(res.peak_stage_memory, used);
+        if (used > stage_mem_capacity(s)) res.oom = true;
+      }
     }
 
     // Baseline-specific per-iteration overheads.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "balance/rebalancer.hpp"
+#include "cluster/deployment.hpp"
 #include "cluster/topology.hpp"
 #include "comm/cost_model.hpp"
 #include "dynamic/dynamism.hpp"
@@ -50,14 +51,25 @@ struct SessionConfig {
   std::size_t micro_batch = 2;
   int num_microbatches = 4;
   pipeline::ScheduleKind schedule = pipeline::ScheduleKind::ZbH1;
+  /// Reference GPU for synthetic (deployment-less) runs.  With a
+  /// deployment, every stage is priced on the GPU actually hosting it and
+  /// this field is ignored.
   hw::GpuSpec gpu = hw::GpuSpec::h100_sxm5();
   comm::CostModelConfig net{};
-  /// Optional hierarchical cluster description.  When set, every
-  /// point-to-point transfer (layer migration above all) is priced by the
-  /// topology's shortest-path effective link instead of `net`'s flat
-  /// two-tier rule, and stages are placed on ranks topology-aware
-  /// (adjacent stages on the fastest links).  Collectives keep the `net`
-  /// tier formulas.
+  /// Where the pipeline actually runs: topology + stage→rank placement +
+  /// per-rank hardware, consumed by every cost surface — boundary
+  /// activation sends and layer migrations are priced over the links the
+  /// hosting ranks share, per-stage compute on each stage's own GPU,
+  /// balancing is capacity-weighted, re-packing prefers vacating whole
+  /// nodes, and the deployment's node membership drives hierarchical
+  /// collective pricing.  Unset → synthetic cluster (stage s is rank s,
+  /// `gpu` everywhere, `net`'s flat two-tier rule).  The deployment must
+  /// cover exactly `pipeline_stages` stages.
+  std::optional<cluster::Deployment> deployment;
+  /// DEPRECATED back-compat shim: a bare Topology.  When `deployment` is
+  /// unset, the session builds
+  /// cluster::Deployment::make_topology_aware(*topology, pipeline_stages).
+  /// Prefer constructing the Deployment yourself.
   std::optional<cluster::Topology> topology;
 
   BalancingMode mode = BalancingMode::DynMo;
@@ -117,6 +129,11 @@ struct SessionResult {
   bool oom = false;                   ///< some stage exceeded GPU memory
   int rebalance_count = 0;
   int repack_count = 0;
+  /// Migration traffic split by node boundary (deployment runs only) —
+  /// inter-node bytes are the expensive fabric traffic hierarchical
+  /// balancing exists to minimize.
+  double intra_node_migration_bytes = 0.0;
+  double inter_node_migration_bytes = 0.0;
   balance::OverheadBreakdown overhead;       ///< DynMo's own total overhead
   double baseline_overhead_s = 0.0;          ///< e.g. Egeria's bookkeeping
   double overhead_fraction = 0.0;            ///< overhead / total time
@@ -142,11 +159,15 @@ class TrainingSession {
   double dp_allreduce_exposed_s(const pipeline::StageMap& map,
                                 std::span<const model::LayerState> states) const;
   void apply_tutel_mitigation(std::span<model::LayerState> states) const;
+  /// Device memory of the GPU hosting a stage (cfg.gpu when synthetic).
+  double stage_mem_capacity(int stage) const;
 
   const model::ModelDesc* model_;
   SessionConfig cfg_;
   dynamic::DynamismEngine* engine_;
-  model::LayerCostModel layer_costs_;
+  /// Resolved from cfg.deployment, or the cfg.topology shim.
+  std::optional<cluster::Deployment> deployment_;
+  model::StageCostModels stage_costs_;
   comm::CostModel net_;
   pipeline::CostBuilder builder_;
 };

@@ -301,5 +301,89 @@ TEST(CostModel, CollectiveCostsScale) {
             m.broadcast_time(2, 1 << 20, false));
 }
 
+TEST(CostModel, NodeResolverOverridesGpusPerNode) {
+  CostModel m;  // config says 4 GPUs per node...
+  m.set_node_resolver([](int rank) { return rank / 8; });  // ...truth is 8
+  EXPECT_EQ(m.node_of(7), 0);
+  EXPECT_EQ(m.node_of(8), 1);
+  EXPECT_EQ(m.tier(3, 4), LinkTier::NvLink);
+  EXPECT_EQ(m.tier(7, 8), LinkTier::InfiniBand);
+  const auto g = m.group(std::vector<int>{0, 5, 7, 8, 9});
+  ASSERT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.node_sizes[0], 3);
+  EXPECT_EQ(g.node_sizes[1], 2);
+}
+
+TEST(CostModel, GroupCollectivesReduceToFlatOnOneNode) {
+  CostModel m;  // 4 GPUs per node
+  const auto g = m.group(std::vector<int>{0, 1, 2, 3});
+  ASSERT_EQ(g.num_nodes(), 1);
+  EXPECT_EQ(g.total_ranks(), 4);
+  const std::size_t bytes = 64u << 20;
+  EXPECT_DOUBLE_EQ(m.allreduce_time(g, bytes),
+                   m.allreduce_time(4, bytes, /*crosses_nodes=*/false));
+  EXPECT_DOUBLE_EQ(m.broadcast_time(g, bytes),
+                   m.broadcast_time(4, bytes, false));
+  EXPECT_DOUBLE_EQ(m.alltoall_time(g, bytes),
+                   m.alltoall_time(4, bytes, false));
+}
+
+TEST(CostModel, GroupCollectivesReduceToFlatOnSingletonNodes) {
+  // One rank per node: there is no intra level, so the hierarchical
+  // formulas must collapse to the flat cross-node ones.
+  CostModel m;
+  m.set_node_resolver([](int rank) { return rank; });
+  const auto g = m.group(std::vector<int>{0, 1, 2, 3, 4, 5});
+  ASSERT_EQ(g.num_nodes(), 6);
+  const std::size_t bytes = 16u << 20;
+  EXPECT_DOUBLE_EQ(m.allreduce_time(g, bytes),
+                   m.allreduce_time(6, bytes, /*crosses_nodes=*/true));
+  EXPECT_DOUBLE_EQ(m.broadcast_time(g, bytes),
+                   m.broadcast_time(6, bytes, true));
+  EXPECT_DOUBLE_EQ(m.alltoall_time(g, bytes),
+                   m.alltoall_time(6, bytes, true));
+}
+
+TEST(CostModel, HierarchicalCollectivesBeatFlatAcrossNodes) {
+  // 2..4 nodes of 4..8 members: the hierarchy keeps most traffic on
+  // NVLink and ships only per-node shards / aggregates over the fabric, so
+  // it must undercut pricing the whole collective at the InfiniBand tier.
+  CostModel m;
+  for (int nodes : {2, 3, 4}) {
+    for (int per_node : {4, 8}) {
+      RankGroup g;
+      g.node_sizes.assign(static_cast<std::size_t>(nodes), per_node);
+      g.intra = m.params(LinkTier::NvLink);
+      g.inter = m.params(LinkTier::InfiniBand);
+      const int n = nodes * per_node;
+      const std::size_t bytes = 64u << 20;
+      EXPECT_LT(m.allreduce_time(g, bytes), m.allreduce_time(n, bytes, true))
+          << nodes << "x" << per_node;
+      EXPECT_LT(m.broadcast_time(g, bytes), m.broadcast_time(n, bytes, true))
+          << nodes << "x" << per_node;
+      EXPECT_LT(m.alltoall_time(g, bytes), m.alltoall_time(n, bytes, true))
+          << nodes << "x" << per_node;
+    }
+  }
+}
+
+TEST(CostModel, HierarchicalCollectivesGateOnWorstNode) {
+  // Non-uniform node sizes, same total ranks: the lone rank on its own
+  // node carries a full shard / crosses the most fabric, so the skewed
+  // grouping must cost more than the even one.
+  CostModel m;
+  RankGroup uneven;
+  uneven.node_sizes = {7, 1};
+  uneven.intra = m.params(LinkTier::NvLink);
+  uneven.inter = m.params(LinkTier::InfiniBand);
+  RankGroup even;
+  even.node_sizes = {4, 4};
+  even.intra = uneven.intra;
+  even.inter = uneven.inter;
+  const std::size_t bytes = 64u << 20;
+  EXPECT_GT(m.allreduce_time(uneven, bytes), m.allreduce_time(even, bytes));
+  EXPECT_GT(m.alltoall_time(uneven, bytes), m.alltoall_time(even, bytes));
+}
+
 }  // namespace
 }  // namespace dynmo::comm

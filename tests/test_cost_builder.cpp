@@ -13,7 +13,7 @@ pipeline::CostBuilder make_builder(const model::ModelDesc& m,
                                    int microbatches = 4) {
   return pipeline::CostBuilder(
       m, model::LayerCostModel{}, comm::CostModel{},
-      pipeline::CostBuilderConfig{micro_batch, microbatches, 0});
+      pipeline::CostBuilderConfig{micro_batch, microbatches});
 }
 
 TEST(CostBuilder, LayerTimesMatchModel) {
@@ -77,6 +77,56 @@ TEST(CostBuilder, MemoryScalesWithStageDepth) {
   const auto mem = builder.layer_memory_bytes(states, map);
   // Earlier stages keep more in-flight microbatches resident under 1F1B.
   EXPECT_GT(mem[0], mem[7]);
+}
+
+TEST(CostBuilder, StageToRankPricesBoundarySends) {
+  // 2 nodes x 2 GPUs; a placement that puts the stage-1/2 boundary across
+  // the fabric must charge that send the InfiniBand price while the
+  // intra-node boundaries stay on NVLink.
+  const auto m = model::make_gpt({.num_blocks = 8,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  const auto dep = cluster::Deployment::make_linear(
+      cluster::Topology::make_homogeneous(
+          2, 2, hw::GpuSpec::h100_sxm5(),
+          cluster::default_link(cluster::LinkType::NvLink),
+          cluster::default_link(cluster::LinkType::InfiniBand)),
+      4);
+  pipeline::CostBuilderConfig cfg{2, 4};
+  cfg.stage_to_rank.assign(dep.stage_to_rank().begin(),
+                           dep.stage_to_rank().end());
+  pipeline::CostBuilder builder(m, model::LayerCostModel{},
+                                dep.make_cost_model(), cfg);
+  EXPECT_EQ(builder.rank_of_stage(2), 2);
+  std::vector<model::LayerState> states(m.num_layers());
+  const auto map = pipeline::StageMap::uniform(8, 4);
+  const auto costs = builder.build(states, map);
+  // Boundary 1→2 crosses nodes: far slower than the NVLink boundaries.
+  EXPECT_GT(costs.send(1), 5.0 * costs.send(0));
+  EXPECT_GT(costs.send(1), 5.0 * costs.send(2));
+}
+
+TEST(CostBuilder, PerStageGpusChargeEachStageItsOwnHardware) {
+  const auto m = model::make_gpt({.num_blocks = 8,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  const std::vector<hw::GpuSpec> gpus{hw::GpuSpec::h100_sxm5(),
+                                      hw::GpuSpec::a100_sxm4()};
+  model::StageCostModels stage_costs(
+      model::LayerCostModel(hw::GpuSpec::h100_sxm5()), gpus);
+  EXPECT_TRUE(stage_costs.per_stage());
+  pipeline::CostBuilder builder(m, stage_costs, comm::CostModel{},
+                                pipeline::CostBuilderConfig{2, 4});
+  std::vector<model::LayerState> states(m.num_layers());
+  const auto map = pipeline::StageMap::uniform(8, 2);  // 4 layers each
+  const auto costs = builder.build(states, map);
+  // Same layer count per stage, but stage 1 runs on the A100: slower.
+  EXPECT_GT(costs.fwd(1, 0), 1.5 * costs.fwd(0, 0));
+  // The balancer-facing profile stays in reference (H100) seconds.
+  const auto ref_times = builder.layer_total_seconds(states);
+  model::LayerCostModel h100{hw::GpuSpec::h100_sxm5()};
+  EXPECT_DOUBLE_EQ(ref_times[7],
+                   h100.layer_times(m.layers[7], states[7], 2).total_s());
 }
 
 TEST(CostBuilder, RejectsMismatchedStates) {

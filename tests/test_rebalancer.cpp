@@ -99,6 +99,44 @@ TEST(Rebalancer, RejectsInconsistentProfile) {
   EXPECT_THROW((void)reb.rebalance(bad, start), Error);
 }
 
+TEST(Rebalancer, HierarchicalDeciderIsInjected) {
+  RebalanceConfig cfg{Algorithm::HierarchicalDiffusion, BalanceBy::Time,
+                      0.0, 0.0};
+  bool invoked = false;
+  cfg.hierarchical_decider = [&](const DiffusionRequest& req,
+                                 const pipeline::StageMap& current) {
+    invoked = true;
+    EXPECT_EQ(req.weights.size(), current.num_layers());
+    // Hand back the optimal contiguous split — what the real
+    // cluster::HierarchicalBalancer would converge to on one node.
+    return pipeline::StageMap::greedy_by_weight(req.weights,
+                                                current.num_stages());
+  };
+  Rebalancer reb(cfg, comm::CostModel{});
+  const auto start = pipeline::StageMap::uniform(12, 4);
+  const auto out = reb.rebalance(skewed_profile(), start);
+  EXPECT_TRUE(invoked);
+  EXPECT_LT(out.imbalance_after, out.imbalance_before);
+  EXPECT_FALSE(out.diffusion.has_value());
+}
+
+TEST(Rebalancer, HierarchicalWithoutDeciderFallsBackToDiffusion) {
+  RebalanceConfig cfg{Algorithm::HierarchicalDiffusion, BalanceBy::Time,
+                      0.0, 0.0};
+  Rebalancer reb(cfg, comm::CostModel{});
+  const auto start = pipeline::StageMap::uniform(12, 4);
+  const auto out = reb.rebalance(skewed_profile(), start);
+  ASSERT_TRUE(out.diffusion.has_value());
+  EXPECT_LT(out.imbalance_after, out.imbalance_before);
+}
+
+TEST(Rebalancer, AlgorithmToString) {
+  EXPECT_STREQ(to_string(Algorithm::Partition), "partition");
+  EXPECT_STREQ(to_string(Algorithm::Diffusion), "diffusion");
+  EXPECT_STREQ(to_string(Algorithm::HierarchicalDiffusion),
+               "hier_diffusion");
+}
+
 TEST(OverheadBreakdown, Accumulates) {
   OverheadBreakdown a{1.0, 2.0, 3.0};
   const OverheadBreakdown b{0.5, 0.5, 0.5};
