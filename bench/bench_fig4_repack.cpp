@@ -8,6 +8,13 @@
 // over 10,000 iterations when DynMo re-packs automatically under the
 // memory-first-fit policy.  Paper: throughput/GPU rises as GPUs shrink;
 // pruning sustains training on ~5.8 GPUs on average.
+//
+// `--json PATH` additionally writes every cell as a BENCH_*.json perf
+// trajectory (see bench/record_bench.sh); all arithmetic is deterministic,
+// so the recorded numbers are machine-independent.
+#include <cstring>
+#include <vector>
+
 #include "bench_common.hpp"
 
 namespace {
@@ -45,10 +52,69 @@ dynmo::Options fig4_options(dynmo::UseCase uc) {
   return opt;
 }
 
+struct ForcedCell {
+  const char* use_case = "";
+  std::size_t layers = 0;
+  int gpus = 0;
+  bool oom = false;
+  double tokens_per_sec = 0.0;
+  double avg_active_workers = 0.0;
+};
+
+struct AutoRow {
+  std::size_t layers = 0;
+  double avg_gpus = 0.0;
+  int repacks = 0;
+  double tokens_per_sec = 0.0;
+};
+
+void write_json(const char* path, const std::vector<ForcedCell>& forced,
+                const std::vector<AutoRow>& auto_rows) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig4_repack\",\n  \"forced\": [\n");
+  for (std::size_t i = 0; i < forced.size(); ++i) {
+    const ForcedCell& c = forced[i];
+    std::fprintf(f,
+                 "    {\"use_case\": \"%s\", \"layers\": %zu, \"gpus\": %d, "
+                 "\"oom\": %s, \"tokens_per_sec\": %.6g, "
+                 "\"tokens_per_gpu\": %.6g}%s\n",
+                 c.use_case, c.layers, c.gpus, c.oom ? "true" : "false",
+                 c.oom ? 0.0 : c.tokens_per_sec,
+                 c.oom || c.avg_active_workers <= 0.0
+                     ? 0.0
+                     : c.tokens_per_sec / c.avg_active_workers,
+                 i + 1 < forced.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"auto_repack\": [\n");
+  for (std::size_t i = 0; i < auto_rows.size(); ++i) {
+    const AutoRow& r = auto_rows[i];
+    std::fprintf(f,
+                 "    {\"layers\": %zu, \"avg_gpus\": %.6g, \"repacks\": %d, "
+                 "\"tokens_per_sec\": %.6g}%s\n",
+                 r.layers, r.avg_gpus, r.repacks, r.tokens_per_sec,
+                 i + 1 < auto_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynmo;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  std::vector<ForcedCell> forced;
+  std::vector<AutoRow> auto_rows;
   std::printf("Figure 4 — re-packing to fewer GPUs (8-GPU pipeline, "
               "hidden 4096)\n");
 
@@ -80,6 +146,8 @@ int main() {
         }
         Session s(model, uc, opt);
         const auto r = s.run();
+        forced.push_back({to_string(uc), blocks, gpus, r.oom,
+                          r.tokens_per_sec, r.avg_active_workers});
         if (r.oom) {
           std::printf("   %18s %8s", "OOM", "-");
         } else {
@@ -106,9 +174,12 @@ int main() {
         runtime::SessionConfig::RepackPolicy::MemoryFirstFit;
     Session s(model, UseCase::GradualPruning, opt);
     const auto r = s.run();
+    auto_rows.push_back(
+        {blocks, r.avg_active_workers, r.repack_count, r.tokens_per_sec});
     std::printf("  %2zu layers: avg %.1f GPUs (%d repacks), %0.f tok/s\n",
                 blocks, r.avg_active_workers, r.repack_count,
                 r.tokens_per_sec);
   }
+  if (json_path != nullptr) write_json(json_path, forced, auto_rows);
   return 0;
 }

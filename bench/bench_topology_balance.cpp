@@ -70,7 +70,56 @@ struct Scenario {
   int hier_strict_wins = 0;      ///< ... and strictly fewer inter bytes
 };
 
+/// DP×PP grid orientation sweep: the per-iteration gradient-allreduce
+/// price each orientation pays on the same cluster (deterministic, no
+/// seeds — the formulas are analytic).
+struct GridScenario {
+  int nodes = 0;
+  int dp = 0;
+  int pp = 0;
+  double dp_inner_allreduce_s = 0.0;  ///< slowest stage group
+  double pp_inner_allreduce_s = 0.0;
+  double dp_inner_inter_bytes = 0.0;  ///< wire bytes over the fabric, all stages
+  double pp_inner_inter_bytes = 0.0;
+  double dp_inner_boundary_s = 0.0;   ///< summed pipeline boundary time
+  double pp_inner_boundary_s = 0.0;
+};
+
+GridScenario run_grid_scenario(int nodes, int dp) {
+  constexpr std::size_t kGradBytes = 256u << 20;  // per-stage gradients
+  GridScenario row;
+  row.nodes = nodes;
+  row.dp = dp;
+  row.pp = nodes * 8 / dp;
+  for (const auto orientation : {cluster::GridOrientation::DpInner,
+                                 cluster::GridOrientation::PpInner}) {
+    const auto placement = cluster::place_grid(
+        cluster::Topology::make_dgx_h100(nodes), dp, row.pp, orientation);
+    const auto dep = cluster::Deployment::make_grid(
+        cluster::Topology::make_dgx_h100(nodes), dp, placement.grid_to_rank);
+    const auto net = dep.make_cost_model();
+    double worst_s = 0.0;
+    double inter = 0.0;
+    for (int s = 0; s < row.pp; ++s) {
+      const auto g = dep.dp_group(s);
+      worst_s = std::max(worst_s, net.allreduce_time(g, kGradBytes));
+      inter += comm::allreduce_bytes(g, kGradBytes).inter_node;
+    }
+    if (orientation == cluster::GridOrientation::DpInner) {
+      row.dp_inner_allreduce_s = worst_s;
+      row.dp_inner_inter_bytes = inter;
+      row.dp_inner_boundary_s = placement.boundary_time_s;
+    } else {
+      row.pp_inner_allreduce_s = worst_s;
+      row.pp_inner_inter_bytes = inter;
+      row.pp_inner_boundary_s = placement.boundary_time_s;
+    }
+  }
+  return row;
+}
+
 void write_json(const char* path, const std::vector<Scenario>& rows,
+                const std::vector<GridScenario>& grid_rows,
                 int bottleneck_wins, int strict_wins, int comparisons) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -103,6 +152,24 @@ void write_json(const char* path, const std::vector<Scenario>& rows,
         r.hier.bottleneck.stddev(), r.flat.migrate_s.mean(),
         r.hier.migrate_s.mean(), r.hier_bottleneck_wins, r.hier_strict_wins,
         i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"grid_scenarios\": [\n");
+  for (std::size_t i = 0; i < grid_rows.size(); ++i) {
+    const GridScenario& r = grid_rows[i];
+    std::fprintf(
+        f,
+        "    {\"nodes\": %d, \"dp\": %d, \"pp\": %d,\n"
+        "     \"dp_inner_allreduce_s\": %.6g, \"pp_inner_allreduce_s\": "
+        "%.6g,\n"
+        "     \"dp_inner_inter_bytes\": %.6g, \"pp_inner_inter_bytes\": "
+        "%.6g,\n"
+        "     \"dp_inner_boundary_s\": %.6g, \"pp_inner_boundary_s\": "
+        "%.6g}%s\n",
+        r.nodes, r.dp, r.pp, r.dp_inner_allreduce_s, r.pp_inner_allreduce_s,
+        r.dp_inner_inter_bytes, r.pp_inner_inter_bytes,
+        r.dp_inner_boundary_s, r.pp_inner_boundary_s,
+        i + 1 < grid_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
@@ -236,8 +303,36 @@ int main(int argc, char** argv) {
       "%d seed run(s)\n",
       strict_wins);
 
+  // --- DP×PP grid orientations --------------------------------------------
+  std::printf(
+      "\nGrid orientations on n x DGX-H100 (256 MiB gradients/stage):\n");
+  std::printf("%6s %4s %4s | %12s %12s | %12s %12s | %12s %12s\n", "nodes",
+              "dp", "pp", "dpin ar", "ppin ar", "dpin fabric", "ppin fabric",
+              "dpin bound", "ppin bound");
+  std::vector<GridScenario> grid_rows;
+  for (int nodes : {2, 4, 8}) {
+    for (int dp : {2, 4, 8}) {
+      const GridScenario row = run_grid_scenario(nodes, dp);
+      std::printf(
+          "%6d %4d %4d | %12s %12s | %12s %12s | %12s %12s\n", row.nodes,
+          row.dp, row.pp,
+          format_seconds(row.dp_inner_allreduce_s).c_str(),
+          format_seconds(row.pp_inner_allreduce_s).c_str(),
+          format_bytes(row.dp_inner_inter_bytes).c_str(),
+          format_bytes(row.pp_inner_inter_bytes).c_str(),
+          format_seconds(row.dp_inner_boundary_s).c_str(),
+          format_seconds(row.pp_inner_boundary_s).c_str());
+      grid_rows.push_back(row);
+    }
+  }
+  std::printf(
+      "DpInner keeps the gradient allreduce on NVLink (zero fabric bytes "
+      "while dp fits in a node)\nbut pays the fabric on pipeline "
+      "boundaries; PpInner is the mirror image.\n");
+
   if (json_path != nullptr) {
-    write_json(json_path, rows, bottleneck_wins, strict_wins, comparisons);
+    write_json(json_path, rows, grid_rows, bottleneck_wins, strict_wins,
+               comparisons);
   }
   return 0;
 }

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Record the bench_topology_balance perf trajectory.
+# Record the structured BENCH_*.json perf trajectories.
 #
-# Builds the bench (Release) and rewrites bench/BENCH_topology_balance.json
-# with the current mean ± stddev aggregates over the seed sweep.  All bench
-# arithmetic is deterministic (fixed seeds, analytic cost models), so the
-# recorded numbers are machine-independent and diffs in the JSON are real
-# behavior changes — commit the file alongside the change that moved it.
+# Builds the JSON-capable benches (Release) and rewrites
+#   bench/BENCH_topology_balance.json  (balancer sweep + grid orientations)
+#   bench/BENCH_fig4_repack.json       (forced + automatic re-packing)
+# with the current aggregates.  All bench arithmetic is deterministic
+# (fixed seeds, analytic cost models), so the recorded numbers are
+# machine-independent and diffs in the JSON are real behavior changes —
+# commit the files alongside the change that moved them.
 #
 # Usage: bench/record_bench.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -13,5 +15,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build}
 
 cmake -B "$BUILD_DIR" -S . -DDYNMO_BUILD_BENCH=ON >/dev/null
-cmake --build "$BUILD_DIR" --target bench_topology_balance -j >/dev/null
+cmake --build "$BUILD_DIR" --target bench_topology_balance \
+  --target bench_fig4_repack -j >/dev/null
 "$BUILD_DIR/bench_topology_balance" --json bench/BENCH_topology_balance.json
+"$BUILD_DIR/bench_fig4_repack" --json bench/BENCH_fig4_repack.json

@@ -10,23 +10,44 @@
 
 namespace dynmo::cluster {
 
-Deployment::Deployment(std::shared_ptr<const Topology> topo,
-                       std::vector<int> stage_to_rank)
-    : topo_(std::move(topo)), stage_to_rank_(std::move(stage_to_rank)) {}
+namespace {
 
-Deployment Deployment::make(Topology topo, std::vector<int> stage_to_rank) {
-  DYNMO_CHECK(!stage_to_rank.empty(), "a deployment needs at least one stage");
+void check_grid_ranks(const Topology& topo, std::span<const int> grid) {
   std::vector<bool> used(static_cast<std::size_t>(topo.num_ranks()), false);
-  for (int r : stage_to_rank) {
+  for (int r : grid) {
     DYNMO_CHECK(r >= 0 && r < topo.num_ranks(),
                 "placement rank " << r << " outside the topology's "
                                   << topo.num_ranks() << " ranks");
     DYNMO_CHECK(!used[static_cast<std::size_t>(r)],
-                "rank " << r << " hosts two stages");
+                "rank " << r << " hosts two grid cells");
     used[static_cast<std::size_t>(r)] = true;
   }
+}
+
+}  // namespace
+
+Deployment::Deployment(std::shared_ptr<const Topology> topo, int data_parallel,
+                       std::vector<int> grid_to_rank)
+    : topo_(std::move(topo)),
+      dp_(data_parallel),
+      pp_(static_cast<int>(grid_to_rank.size()) / data_parallel),
+      grid_(std::move(grid_to_rank)) {}
+
+Deployment Deployment::make(Topology topo, std::vector<int> stage_to_rank) {
+  return make_grid(std::move(topo), 1, std::move(stage_to_rank));
+}
+
+Deployment Deployment::make_grid(Topology topo, int data_parallel,
+                                 std::vector<int> grid_to_rank) {
+  DYNMO_CHECK(data_parallel > 0, "a grid needs at least one DP replica");
+  DYNMO_CHECK(!grid_to_rank.empty(), "a deployment needs at least one stage");
+  DYNMO_CHECK(grid_to_rank.size() % static_cast<std::size_t>(data_parallel) ==
+                  0,
+              "grid of " << grid_to_rank.size() << " cells does not divide "
+                         << "into " << data_parallel << " replicas");
+  check_grid_ranks(topo, grid_to_rank);
   return Deployment(std::make_shared<const Topology>(std::move(topo)),
-                    std::move(stage_to_rank));
+                    data_parallel, std::move(grid_to_rank));
 }
 
 Deployment Deployment::make_topology_aware(Topology topo, int num_stages,
@@ -50,15 +71,43 @@ Deployment Deployment::make_linear(Topology topo, int num_stages) {
   return make(std::move(topo), std::move(s2r));
 }
 
-int Deployment::rank(int stage) const {
-  DYNMO_CHECK(stage >= 0 && stage < num_stages(),
-              "bad stage " << stage << " (deployment has " << num_stages()
-                           << ")");
-  return stage_to_rank_[static_cast<std::size_t>(stage)];
+Deployment Deployment::make_grid_topology_aware(Topology topo,
+                                                int data_parallel,
+                                                int num_stages,
+                                                GridOrientation orientation,
+                                                std::size_t activation_bytes) {
+  auto placement = place_grid(topo, data_parallel, num_stages, orientation,
+                              activation_bytes);
+  return make_grid(std::move(topo), data_parallel,
+                   std::move(placement.grid_to_rank));
+}
+
+int Deployment::rank(int dp, int stage) const {
+  DYNMO_CHECK(dp >= 0 && dp < dp_,
+              "bad DP replica " << dp << " (deployment has " << dp_ << ")");
+  DYNMO_CHECK(stage >= 0 && stage < pp_,
+              "bad stage " << stage << " (deployment has " << pp_ << ")");
+  return grid_[static_cast<std::size_t>(dp * pp_ + stage)];
+}
+
+std::span<const int> Deployment::stage_to_rank(int dp) const {
+  DYNMO_CHECK(dp >= 0 && dp < dp_,
+              "bad DP replica " << dp << " (deployment has " << dp_ << ")");
+  return std::span<const int>(grid_).subspan(
+      static_cast<std::size_t>(dp * pp_), static_cast<std::size_t>(pp_));
+}
+
+Deployment Deployment::replica(int dp) const {
+  const auto view = stage_to_rank(dp);
+  return Deployment(topo_, 1, std::vector<int>(view.begin(), view.end()));
 }
 
 const hw::GpuSpec& Deployment::gpu(int stage) const {
   return topo_->gpu(rank(stage));
+}
+
+const hw::GpuSpec& Deployment::gpu(int dp, int stage) const {
+  return topo_->gpu(rank(dp, stage));
 }
 
 int Deployment::node(int stage) const { return topo_->node_of(rank(stage)); }
@@ -109,25 +158,33 @@ comm::RankGroup Deployment::group(std::span<const int> ranks) const {
 }
 
 comm::RankGroup Deployment::stage_group() const {
-  return group(stage_to_rank_);
+  return group(stage_to_rank());
+}
+
+comm::RankGroup Deployment::dp_group(int stage) const {
+  std::vector<int> peers;
+  peers.reserve(static_cast<std::size_t>(dp_));
+  for (int d = 0; d < dp_; ++d) peers.push_back(rank(d, stage));
+  return group(peers);
 }
 
 std::vector<double> Deployment::stage_capacities() const {
-  std::vector<double> cap(stage_to_rank_.size(), 1.0);
+  const auto s2r = stage_to_rank();
+  std::vector<double> cap(s2r.size(), 1.0);
   double max_speed = 0.0;
-  for (int r : stage_to_rank_) {
+  for (int r : s2r) {
     max_speed = std::max(max_speed, topo_->relative_speed(r));
   }
   if (max_speed <= 0.0) return cap;
-  for (std::size_t s = 0; s < stage_to_rank_.size(); ++s) {
-    cap[s] = topo_->relative_speed(stage_to_rank_[s]) / max_speed;
+  for (std::size_t s = 0; s < s2r.size(); ++s) {
+    cap[s] = topo_->relative_speed(s2r[s]) / max_speed;
   }
   return cap;
 }
 
 double Deployment::min_mem_capacity() const {
   double cap = std::numeric_limits<double>::infinity();
-  for (int r : stage_to_rank_) {
+  for (int r : grid_) {
     cap = std::min(cap, topo_->gpu(r).mem_capacity);
   }
   return cap;
@@ -145,8 +202,9 @@ comm::CostModel Deployment::make_cost_model(comm::CostModelConfig base) const {
 
 std::string Deployment::to_string() const {
   std::ostringstream os;
-  os << num_stages() << " stages on " << topo_->to_string() << "; placement";
-  for (int r : stage_to_rank_) os << " " << r;
+  if (dp_ > 1) os << dp_ << "x";
+  os << pp_ << " stages on " << topo_->to_string() << "; placement";
+  for (int r : grid_) os << " " << r;
   return os.str();
 }
 

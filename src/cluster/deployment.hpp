@@ -5,7 +5,8 @@
 // which links*:
 //
 //   Topology          the physical graph (nodes, typed links)
-//   stage_to_rank     the pipeline placement (stage s → global rank)
+//   grid(dp, stage)   the DP×PP placement ((replica, stage) → global rank;
+//                     a plain pipeline is the dp = 1 special case)
 //   per-rank GpuSpec  carried by the topology's nodes
 //
 // Before this type existed the same knowledge leaked through four side
@@ -19,10 +20,17 @@
 //   gpu(stage)              the GPU actually hosting a stage
 //   group(ranks)            node-grouped membership for hierarchical
 //                           collective pricing (comm::RankGroup)
+//   dp_group(stage)         a stage's DP peers node-grouped — what the
+//                           gradient allreduce is priced over
 //   stage_capacities()      relative per-stage compute throughput, the
 //                           weights capacity-aware diffusion normalizes by
 //   make_cost_model()       a comm::CostModel resolved against this
 //                           deployment (links *and* node membership)
+//
+// Single-stage accessors (gpu, node, link, stage_capacities, ...) read the
+// dp = 0 replica — the canonical pipeline view every pre-grid call site
+// keeps consuming; replica(d) materializes any other replica as its own
+// dp = 1 Deployment.
 #pragma once
 
 #include <cstddef>
@@ -52,17 +60,42 @@ class Deployment {
   /// Stage s → rank s.
   static Deployment make_linear(Topology topo, int num_stages);
 
-  int num_stages() const { return static_cast<int>(stage_to_rank_.size()); }
-  const Topology& topology() const { return *topo_; }
-  std::span<const int> stage_to_rank() const { return stage_to_rank_; }
-  int rank(int stage) const;
+  /// Bind an explicit DP×PP grid: grid_to_rank[(d, s)] at
+  /// [d * num_stages + s] (num_stages derived from the vector's size).
+  /// Ranks must be valid and pairwise distinct across the whole grid.
+  static Deployment make_grid(Topology topo, int data_parallel,
+                              std::vector<int> grid_to_rank);
+  /// Greedy topology-aware grid placement under an orientation: DpInner
+  /// packs a stage's DP peers within a node (gradient allreduce on
+  /// NVLink), PpInner packs a replica's pipeline (activations on NVLink).
+  static Deployment make_grid_topology_aware(
+      Topology topo, int data_parallel, int num_stages,
+      GridOrientation orientation,
+      std::size_t activation_bytes = kDefaultActivationBytes);
 
-  /// The GPU hosting a stage.
+  int num_stages() const { return pp_; }
+  int data_parallel() const { return dp_; }
+  const Topology& topology() const { return *topo_; }
+  /// (replica dp, stage) → global rank.
+  int rank(int dp, int stage) const;
+  /// dp = 0 view: stage → global rank.
+  int rank(int stage) const { return rank(0, stage); }
+  /// Replica dp's pipeline placement (a contiguous slice of the grid).
+  std::span<const int> stage_to_rank(int dp) const;
+  std::span<const int> stage_to_rank() const { return stage_to_rank(0); }
+  /// The whole grid, replica-major.
+  std::span<const int> grid_to_rank() const { return grid_; }
+  /// Replica dp as its own single-pipeline Deployment (shares the
+  /// topology) — the view to hand pre-grid consumers for replicas > 0.
+  Deployment replica(int dp) const;
+
+  /// The GPU hosting a stage (dp = 0 view) / a grid cell.
   const hw::GpuSpec& gpu(int stage) const;
-  /// Node hosting a stage.
+  const hw::GpuSpec& gpu(int dp, int stage) const;
+  /// Node hosting a stage (dp = 0 view).
   int node(int stage) const;
   /// Effective link between two stages' hosting ranks (shortest path over
-  /// the topology; a stage to itself is free).
+  /// the topology; a stage to itself is free).  dp = 0 view.
   comm::LinkParams link(int stage_a, int stage_b) const;
 
   /// Node-grouped membership of a set of global ranks, with intra/inter
@@ -70,16 +103,23 @@ class Deployment {
   /// leader-pair effective link) — ready for the hierarchical collective
   /// formulas of comm::CostModel.
   comm::RankGroup group(std::span<const int> ranks) const;
-  /// group() over all stage-hosting ranks.
+  /// group() over the dp = 0 replica's stage-hosting ranks.
   comm::RankGroup stage_group() const;
+  /// group() over a stage's DP peers {rank(0, s), ..., rank(dp-1, s)} —
+  /// what the hierarchical gradient-allreduce formula prices.  Under
+  /// DpInner the peers share nodes and the allreduce rides the intra
+  /// links; under PpInner every peer sits on a different node and the
+  /// formula degenerates to the flat cross-fabric ring.
+  comm::RankGroup dp_group(int stage) const;
 
-  /// Relative per-stage compute throughput, normalized so the fastest
-  /// stage is 1.0 — the capacity weights heterogeneous balancing uses.
+  /// Relative per-stage compute throughput (dp = 0 view), normalized so
+  /// the fastest stage is 1.0 — the capacity weights heterogeneous
+  /// balancing uses.
   std::vector<double> stage_capacities() const;
-  /// Smallest per-stage device memory — the conservative per-worker cap
-  /// re-packing and balancing enforce.
+  /// Smallest device memory across the whole grid — the conservative
+  /// per-worker cap re-packing and balancing enforce.
   double min_mem_capacity() const;
-  /// True when stages are hosted by GPUs of differing throughput.
+  /// True when stages are hosted by GPUs of differing throughput (dp = 0).
   bool heterogeneous() const;
 
   /// CostModel resolved against this deployment: shortest-path links and
@@ -89,11 +129,13 @@ class Deployment {
   std::string to_string() const;
 
  private:
-  Deployment(std::shared_ptr<const Topology> topo,
-             std::vector<int> stage_to_rank);
+  Deployment(std::shared_ptr<const Topology> topo, int data_parallel,
+             std::vector<int> grid_to_rank);
 
   std::shared_ptr<const Topology> topo_;
-  std::vector<int> stage_to_rank_;
+  int dp_ = 1;
+  int pp_ = 0;
+  std::vector<int> grid_;  ///< (d, s) → rank at [d * pp_ + s]
 };
 
 }  // namespace dynmo::cluster

@@ -26,6 +26,23 @@ int RankGroup::min_node_size() const {
   return m;
 }
 
+CollectiveBytesSplit allreduce_bytes(const RankGroup& g, std::size_t bytes) {
+  CollectiveBytesSplit split;
+  const int n = g.total_ranks();
+  if (n <= 1) return split;
+  const double b = static_cast<double>(bytes);
+  for (int m : g.node_sizes) {
+    if (m > 1) split.intra_node += 2.0 * static_cast<double>(m - 1) * b;
+  }
+  const int k = g.num_nodes();
+  if (k > 1) {
+    const int m_min = std::max(1, g.min_node_size());
+    split.inter_node =
+        2.0 * static_cast<double>(k - 1) * b / static_cast<double>(m_min);
+  }
+  return split;
+}
+
 RankGroup CostModel::group(std::span<const int> ranks) const {
   RankGroup g;
   g.intra = params(LinkTier::NvLink);

@@ -79,6 +79,20 @@ struct RankGroup {
   int min_node_size() const;
 };
 
+struct CollectiveBytesSplit {
+  double intra_node = 0.0;
+  double inter_node = 0.0;
+};
+
+/// Aggregate wire bytes one hierarchical ring allreduce of `bytes` moves,
+/// split by node boundary — the byte-accounting companion to
+/// CostModel::allreduce_time(RankGroup, bytes): each node's intra ring
+/// moves 2(m_i−1)·bytes inside the node, the leader ring moves
+/// 2(k−1)·(bytes/m_min) across the fabric.  Degenerates to the flat ring's
+/// 2(n−1)·bytes on a single node (all intra) and on all-singleton nodes
+/// (all inter).
+CollectiveBytesSplit allreduce_bytes(const RankGroup& g, std::size_t bytes);
+
 class CostModel {
  public:
   /// Per-rank-pair link override.  When set, point-to-point transfers are

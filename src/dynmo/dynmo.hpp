@@ -11,30 +11,40 @@
 //   dynmo::Session session(model, dynmo::UseCase::EarlyExit, opt);
 //   auto result = session.run();
 //
-// Multi-node clusters: describe where the pipeline runs with a
+// Multi-node clusters: describe where the training run lives with a
 // cluster::Deployment — a Topology (presets: Topology::make_dgx_h100(n),
-// make_dgx_a100(n), make_hetero(nodes, inter)) bound to a stage→rank
-// placement and, through the topology's nodes, a per-rank hw::GpuSpec:
+// make_dgx_a100(n), make_hetero(nodes, inter)) bound to a placement and,
+// through the topology's nodes, a per-rank hw::GpuSpec:
 //
 //   auto dep = cluster::Deployment::make_topology_aware(
 //       cluster::Topology::make_dgx_h100(2), /*num_stages=*/16);
 //   opt.session.deployment = dep;
 //   opt.session.algorithm = balance::Algorithm::HierarchicalDiffusion;
 //
+// Hybrid data + pipeline parallelism spans the full DP×PP grid; the
+// orientation decides whether a node's NVLink clique carries the gradient
+// allreduce (DpInner) or the activation flow (PpInner):
+//
+//   opt.session.data_parallel = 4;
+//   opt.session.deployment = cluster::Deployment::make_grid_topology_aware(
+//       cluster::Topology::make_dgx_h100(2), /*data_parallel=*/4,
+//       /*num_stages=*/4, cluster::GridOrientation::DpInner);
+//
 // Every cost surface then consumes the deployment: boundary activation
 // sends and layer migrations are priced by the links the hosting ranks
-// actually share, each stage's compute by its own GPU (heterogeneous mixes
-// via Deployment::gpu / capacity-weighted diffusion), collectives by the
-// hierarchical node-grouped formulas (Deployment::group), and re-packing
-// prefers vacating whole nodes.  Algorithm::HierarchicalDiffusion runs
-// cluster::HierarchicalBalancer inside the session loop (intra-node moves
-// first, inter-node only when node totals are out of balance) —
+// actually share (migrations mirrored across all DP replicas), each
+// stage's compute by its own GPU (heterogeneous mixes via Deployment::gpu
+// / capacity-weighted diffusion), collectives by the hierarchical
+// node-grouped formulas (Deployment::group), the gradient allreduce by
+// each stage's actual DP peer group (Deployment::dp_group), and
+// re-packing prefers vacating whole nodes.
+// Algorithm::HierarchicalDiffusion runs cluster::HierarchicalBalancer
+// inside the session loop (intra-node moves first, inter-node only when
+// node totals are out of balance) —
 // SessionResult::inter_node_migration_bytes shows the fabric traffic it
-// saves over flat Diffusion.
-//
-// Migration path: the old opt.session.topology (bare cluster::Topology)
-// still works as a deprecated shim — the session upgrades it to
-// Deployment::make_topology_aware(topology, pipeline_stages).
+// saves over flat Diffusion, and
+// SessionResult::{intra,inter}_node_dp_bytes where the gradient exchange
+// ran.
 //
 // Everything the facade does is available piecemeal through the subsystem
 // headers (balance/, dynamic/, pipeline/, repack/, runtime/) for users who

@@ -14,22 +14,25 @@ namespace dynmo::runtime {
 
 namespace {
 
-/// Resolve the session's Deployment: explicit > topology shim > none.
+/// Validate the session's Deployment against the configured DP×PP shape.
 std::optional<cluster::Deployment> resolve_deployment(
     const SessionConfig& cfg) {
   DYNMO_CHECK(cfg.pipeline_stages > 0, "need at least one stage");
-  if (cfg.deployment) {
-    DYNMO_CHECK(cfg.deployment->num_stages() == cfg.pipeline_stages,
-                "deployment covers " << cfg.deployment->num_stages()
-                                     << " stages, pipeline needs "
-                                     << cfg.pipeline_stages);
-    return cfg.deployment;
-  }
-  if (cfg.topology) {
-    return cluster::Deployment::make_topology_aware(*cfg.topology,
-                                                    cfg.pipeline_stages);
-  }
-  return std::nullopt;
+  DYNMO_CHECK(cfg.data_parallel > 0, "need at least one DP replica");
+  if (!cfg.deployment) return std::nullopt;
+  DYNMO_CHECK(cfg.deployment->num_stages() == cfg.pipeline_stages,
+              "deployment covers " << cfg.deployment->num_stages()
+                                   << " stages, pipeline needs "
+                                   << cfg.pipeline_stages);
+  // A dp = 1 deployment under data_parallel > 1 is allowed (the DP
+  // exchange falls back to the synthetic tiling); an actual grid must
+  // match the session's DP width exactly.
+  DYNMO_CHECK(cfg.deployment->data_parallel() == 1 ||
+                  cfg.deployment->data_parallel() == cfg.data_parallel,
+              "deployment grid has " << cfg.deployment->data_parallel()
+                                     << " DP replicas, session runs "
+                                     << cfg.data_parallel);
+  return cfg.deployment;
 }
 
 /// Per-stage cost models: each stage priced on its own GPU, balancer
@@ -97,11 +100,24 @@ TrainingSession::TrainingSession(const model::ModelDesc& model,
   DYNMO_CHECK(static_cast<std::size_t>(cfg.pipeline_stages) <=
                   model.num_layers(),
               "more stages than layers");
+  if (cfg_.data_parallel > 1) {
+    const bool grid = deployment_ && deployment_->data_parallel() > 1;
+    dp_groups_.reserve(static_cast<std::size_t>(cfg_.pipeline_stages));
+    for (int s = 0; s < cfg_.pipeline_stages; ++s) {
+      dp_groups_.push_back(grid ? deployment_->dp_group(s)
+                                : synthetic_dp_group(s));
+    }
+  }
 }
 
 double TrainingSession::stage_mem_capacity(int stage) const {
-  return deployment_ ? deployment_->gpu(stage).mem_capacity
-                     : cfg_.gpu.mem_capacity;
+  if (!deployment_) return cfg_.gpu.mem_capacity;
+  // A stage's layers live on every replica; the smallest hosting GPU gates.
+  double cap = deployment_->gpu(stage).mem_capacity;
+  for (int d = 1; d < deployment_->data_parallel(); ++d) {
+    cap = std::min(cap, deployment_->gpu(d, stage).mem_capacity);
+  }
+  return cap;
 }
 
 double TrainingSession::tokens_per_iteration() const {
@@ -117,13 +133,41 @@ std::int64_t TrainingSession::effective_rebalance_interval() const {
   return 0;
 }
 
-double TrainingSession::dp_allreduce_exposed_s(
+comm::RankGroup TrainingSession::synthetic_dp_group(int stage) const {
+  // Without a grid deployment, replica pipelines are assumed tiled
+  // linearly over the cluster: replica d's stage s sits at global rank
+  // d * pipeline_stages + s, nodes hold cfg.net.gpus_per_node ranks.  DP
+  // peers that land inside one node (short pipelines, wide nodes) exchange
+  // over the intra tier; only the rest crosses the fabric.
+  const int g = std::max(1, cfg_.net.gpus_per_node);
+  comm::RankGroup group;
+  group.intra = net_.params(comm::LinkTier::NvLink);
+  group.inter = net_.params(comm::LinkTier::InfiniBand);
+  int run = 0;       // peers accumulated on the current node
+  int prev_node = -1;
+  for (int d = 0; d < cfg_.data_parallel; ++d) {
+    const int node = (d * cfg_.pipeline_stages + stage) / g;
+    if (node == prev_node) {
+      ++run;
+    } else {
+      if (run > 0) group.node_sizes.push_back(run);
+      run = 1;
+      prev_node = node;
+    }
+  }
+  if (run > 0) group.node_sizes.push_back(run);
+  return group;
+}
+
+TrainingSession::DpAllreduceCost TrainingSession::dp_allreduce_cost(
     const pipeline::StageMap& map,
     std::span<const model::LayerState> states) const {
-  if (cfg_.data_parallel <= 1) return 0.0;
-  // Gradient volume of the busiest stage gates the DP allreduce; frozen
+  DpAllreduceCost cost;
+  if (cfg_.data_parallel <= 1) return cost;
+  // Every stage's DP peer group reduces its own gradients concurrently on
+  // disjoint ranks, so the slowest group gates the iteration; frozen
   // layers drop out of the exchange entirely (Egeria semantics).
-  double worst_bytes = 0.0;
+  double worst_s = 0.0;
   for (int s = 0; s < map.num_stages(); ++s) {
     double bytes = 0.0;
     for (std::size_t l = map.stage_begin(s); l < map.stage_end(s); ++l) {
@@ -131,18 +175,16 @@ double TrainingSession::dp_allreduce_exposed_s(
       bytes += static_cast<double>(model_->layers[l].params) * 2.0 *
                std::clamp(states[l].weight_density, 0.0, 1.0);
     }
-    worst_bytes = std::max(worst_bytes, bytes);
+    if (bytes <= 0.0) continue;
+    const comm::RankGroup& group = dp_groups_[static_cast<std::size_t>(s)];
+    const auto payload = static_cast<std::size_t>(bytes);
+    worst_s = std::max(worst_s, net_.allreduce_time(group, payload));
+    const auto split = comm::allreduce_bytes(group, payload);
+    cost.intra_bytes += split.intra_node;
+    cost.inter_bytes += split.inter_node;
   }
-  // Each DP replica is a separate pipeline on its own nodes, so the ring
-  // crosses the fabric between every pair: a group of singleton nodes —
-  // numerically identical to the flat cross-node ring formula.
-  comm::RankGroup dp_group;
-  dp_group.node_sizes.assign(static_cast<std::size_t>(cfg_.data_parallel), 1);
-  dp_group.intra = net_.params(comm::LinkTier::NvLink);
-  dp_group.inter = net_.params(comm::LinkTier::InfiniBand);
-  const double full =
-      net_.allreduce_time(dp_group, static_cast<std::size_t>(worst_bytes));
-  return full * (1.0 - std::clamp(cfg_.dp_overlap, 0.0, 1.0));
+  cost.exposed_s = worst_s * (1.0 - std::clamp(cfg_.dp_overlap, 0.0, 1.0));
+  return cost;
 }
 
 void TrainingSession::apply_tutel_mitigation(
@@ -212,10 +254,15 @@ SessionResult TrainingSession::run() {
   const auto record_migration_split = [&](const balance::MigrationPlan& plan,
                                           double scale, SessionResult& res) {
     if (!deployment_ || plan.empty()) return;
-    const auto split = cluster::classify_migration(
-        plan, deployment_->topology(), deployment_->stage_to_rank());
-    res.intra_node_migration_bytes += split.intra_node_bytes * scale;
-    res.inter_node_migration_bytes += split.inter_node_bytes * scale;
+    // A layer move is mirrored in every DP replica (each replica holds the
+    // same layers and migrates them between its own stages), and replicas
+    // may straddle node boundaries differently — classify each one.
+    for (int d = 0; d < deployment_->data_parallel(); ++d) {
+      const auto split = cluster::classify_migration(
+          plan, deployment_->topology(), deployment_->stage_to_rank(d));
+      res.intra_node_migration_bytes += split.intra_node_bytes * scale;
+      res.inter_node_migration_bytes += split.inter_node_bytes * scale;
+    }
   };
 
   const std::int64_t interval = effective_rebalance_interval();
@@ -361,7 +408,12 @@ SessionResult TrainingSession::run() {
     // --- execute one iteration on the (possibly rebalanced) map ----------
     const auto costs = builder_.build(states, map, mb_scale);
     const auto pipe = pipeline::simulate(cfg_.schedule, costs);
-    iter_time += pipe.makespan_s + dp_allreduce_exposed_s(map, states);
+    const auto dp_cost = dp_allreduce_cost(map, states);
+    iter_time += pipe.makespan_s + dp_cost.exposed_s;
+    res.intra_node_dp_bytes +=
+        dp_cost.intra_bytes * static_cast<double>(cfg_.sim_stride);
+    res.inter_node_dp_bytes +=
+        dp_cost.inter_bytes * static_cast<double>(cfg_.sim_stride);
 
     // Memory accounting (for OOM detection and Fig. 4): every stage is
     // checked against the capacity of the GPU actually hosting it.

@@ -56,21 +56,23 @@ struct SessionConfig {
   /// this field is ignored.
   hw::GpuSpec gpu = hw::GpuSpec::h100_sxm5();
   comm::CostModelConfig net{};
-  /// Where the pipeline actually runs: topology + stage→rank placement +
-  /// per-rank hardware, consumed by every cost surface — boundary
-  /// activation sends and layer migrations are priced over the links the
-  /// hosting ranks share, per-stage compute on each stage's own GPU,
-  /// balancing is capacity-weighted, re-packing prefers vacating whole
-  /// nodes, and the deployment's node membership drives hierarchical
-  /// collective pricing.  Unset → synthetic cluster (stage s is rank s,
-  /// `gpu` everywhere, `net`'s flat two-tier rule).  The deployment must
-  /// cover exactly `pipeline_stages` stages.
+  /// Where the training run actually lives: topology + DP×PP grid
+  /// placement + per-rank hardware, consumed by every cost surface —
+  /// boundary activation sends and layer migrations are priced over the
+  /// links the hosting ranks share, per-stage compute on each stage's own
+  /// GPU, balancing is capacity-weighted, re-packing prefers vacating
+  /// whole nodes, and the deployment's node membership drives hierarchical
+  /// collective pricing.  The deployment must cover exactly
+  /// `pipeline_stages` stages; a grid deployment
+  /// (Deployment::data_parallel() > 1) must also match `data_parallel`,
+  /// and then each stage's gradient allreduce is priced over its actual
+  /// DP peer group (Deployment::dp_group) while layer migrations are
+  /// mirrored across every replica.  A dp = 1 deployment with
+  /// `data_parallel` > 1 prices the DP exchange synthetically (replicas
+  /// tiled over `net.gpus_per_node`-sized nodes), as do deployment-less
+  /// runs (stage s is rank s, `gpu` everywhere, `net`'s flat two-tier
+  /// rule).
   std::optional<cluster::Deployment> deployment;
-  /// DEPRECATED back-compat shim: a bare Topology.  When `deployment` is
-  /// unset, the session builds
-  /// cluster::Deployment::make_topology_aware(*topology, pipeline_stages).
-  /// Prefer constructing the Deployment yourself.
-  std::optional<cluster::Topology> topology;
 
   BalancingMode mode = BalancingMode::DynMo;
   balance::Algorithm algorithm = balance::Algorithm::Diffusion;
@@ -129,11 +131,18 @@ struct SessionResult {
   bool oom = false;                   ///< some stage exceeded GPU memory
   int rebalance_count = 0;
   int repack_count = 0;
-  /// Migration traffic split by node boundary (deployment runs only) —
-  /// inter-node bytes are the expensive fabric traffic hierarchical
-  /// balancing exists to minimize.
+  /// Migration traffic split by node boundary (deployment runs only;
+  /// mirrored over every DP replica on a grid deployment) — inter-node
+  /// bytes are the expensive fabric traffic hierarchical balancing exists
+  /// to minimize.
   double intra_node_migration_bytes = 0.0;
   double inter_node_migration_bytes = 0.0;
+  /// Gradient-allreduce wire traffic over the whole run, split by node
+  /// boundary (data_parallel > 1 only).  Grid deployments price each
+  /// stage's DP peer group; DpInner orientations keep this traffic on
+  /// intra-node links, PpInner pushes it across the fabric.
+  double intra_node_dp_bytes = 0.0;
+  double inter_node_dp_bytes = 0.0;
   balance::OverheadBreakdown overhead;       ///< DynMo's own total overhead
   double baseline_overhead_s = 0.0;          ///< e.g. Egeria's bookkeeping
   double overhead_fraction = 0.0;            ///< overhead / total time
@@ -155,21 +164,39 @@ class TrainingSession {
   double tokens_per_iteration() const;
 
  private:
+  struct DpAllreduceCost {
+    double exposed_s = 0.0;    ///< slowest stage group, minus the overlap
+    double intra_bytes = 0.0;  ///< wire bytes inside nodes, all stages
+    double inter_bytes = 0.0;  ///< wire bytes across the fabric, all stages
+  };
+
   std::int64_t effective_rebalance_interval() const;
-  double dp_allreduce_exposed_s(const pipeline::StageMap& map,
-                                std::span<const model::LayerState> states) const;
+  /// Per-iteration gradient allreduce: every stage's DP peer group runs
+  /// concurrently, so the slowest group gates; bytes are summed over all
+  /// stages.  Grid deployments use Deployment::dp_group(stage), everything
+  /// else the synthetic replica tiling (groups precomputed in dp_groups_).
+  DpAllreduceCost dp_allreduce_cost(
+      const pipeline::StageMap& map,
+      std::span<const model::LayerState> states) const;
+  /// Synthetic DP peer group of a stage: replica pipelines tiled rank
+  /// s → d * pipeline_stages + s over cfg.net.gpus_per_node-sized nodes.
+  comm::RankGroup synthetic_dp_group(int stage) const;
   void apply_tutel_mitigation(std::span<model::LayerState> states) const;
-  /// Device memory of the GPU hosting a stage (cfg.gpu when synthetic).
+  /// Device memory of the GPU hosting a stage (min across DP replicas on
+  /// a grid; cfg.gpu when synthetic).
   double stage_mem_capacity(int stage) const;
 
   const model::ModelDesc* model_;
   SessionConfig cfg_;
   dynamic::DynamismEngine* engine_;
-  /// Resolved from cfg.deployment, or the cfg.topology shim.
   std::optional<cluster::Deployment> deployment_;
   model::StageCostModels stage_costs_;
   comm::CostModel net_;
   pipeline::CostBuilder builder_;
+  /// Per-stage DP peer groups (data_parallel > 1 only) — the deployment
+  /// and the synthetic tiling are both immutable, so the node grouping is
+  /// computed once here, not per simulated iteration.
+  std::vector<comm::RankGroup> dp_groups_;
 };
 
 }  // namespace dynmo::runtime

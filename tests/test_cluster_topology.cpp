@@ -174,5 +174,57 @@ TEST(Placement, RejectsMoreStagesThanRanks) {
   EXPECT_THROW(place_topology_aware(topo, 9), Error);
 }
 
+TEST(GridPlacement, DpInnerPacksAStagesPeersIntoOneNode) {
+  // 4 nodes x 4 GPUs, 4x4 grid: DP width equals the node size, so every
+  // stage's four peers land on a single node — the orientation that keeps
+  // the gradient allreduce on NVLink.
+  const auto topo = Topology::make_homogeneous(
+      4, 4, hw::GpuSpec::h100_sxm5(), default_link(LinkType::NvLink),
+      default_link(LinkType::InfiniBand));
+  const auto g = place_grid(topo, 4, 4, GridOrientation::DpInner);
+  ASSERT_EQ(static_cast<int>(g.grid_to_rank.size()), 16);
+  for (int s = 0; s < 4; ++s) {
+    const int node = topo.node_of(g.grid_to_rank[static_cast<std::size_t>(s)]);
+    for (int d = 1; d < 4; ++d) {
+      EXPECT_EQ(topo.node_of(
+                    g.grid_to_rank[static_cast<std::size_t>(d * 4 + s)]),
+                node)
+          << "stage " << s << " replica " << d;
+    }
+  }
+}
+
+TEST(GridPlacement, PpInnerPacksAReplicasPipelineIntoOneNode) {
+  const auto topo = Topology::make_homogeneous(
+      4, 4, hw::GpuSpec::h100_sxm5(), default_link(LinkType::NvLink),
+      default_link(LinkType::InfiniBand));
+  const auto g = place_grid(topo, 4, 4, GridOrientation::PpInner);
+  for (int d = 0; d < 4; ++d) {
+    const int node = topo.node_of(g.grid_to_rank[static_cast<std::size_t>(d * 4)]);
+    for (int s = 1; s < 4; ++s) {
+      EXPECT_EQ(topo.node_of(
+                    g.grid_to_rank[static_cast<std::size_t>(d * 4 + s)]),
+                node)
+          << "replica " << d << " stage " << s;
+    }
+  }
+  // Activations never leave a node under PpInner, so its summed boundary
+  // time must undercut DpInner's (whose boundaries all cross the fabric).
+  const auto dp_inner = place_grid(topo, 4, 4, GridOrientation::DpInner);
+  EXPECT_LT(g.boundary_time_s, dp_inner.boundary_time_s);
+}
+
+TEST(GridPlacement, CoversDistinctRanksAndRejectsOversizedGrids) {
+  const auto topo = Topology::make_dgx_h100(2);
+  const auto g = place_grid(topo, 2, 8, GridOrientation::PpInner);
+  std::vector<bool> seen(16, false);
+  for (int r : g.grid_to_rank) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(r)]);
+    seen[static_cast<std::size_t>(r)] = true;
+  }
+  EXPECT_THROW(place_grid(topo, 3, 8, GridOrientation::DpInner), Error);
+  EXPECT_THROW(place_grid(topo, 0, 8, GridOrientation::DpInner), Error);
+}
+
 }  // namespace
 }  // namespace dynmo::cluster

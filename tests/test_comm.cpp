@@ -367,6 +367,55 @@ TEST(CostModel, HierarchicalCollectivesBeatFlatAcrossNodes) {
   }
 }
 
+TEST(CostModel, EmptyGroupIsFreeEverywhere) {
+  // A stage can end up with no DP peers at all (dp = 1 slices); every
+  // formula must return zero instead of dividing by an empty node list.
+  CostModel m;
+  const RankGroup g;  // no nodes, no ranks
+  EXPECT_EQ(g.total_ranks(), 0);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.max_node_size(), 0);
+  EXPECT_EQ(g.min_node_size(), 0);
+  EXPECT_DOUBLE_EQ(m.allreduce_time(g, 1u << 20), 0.0);
+  EXPECT_DOUBLE_EQ(m.broadcast_time(g, 1u << 20), 0.0);
+  EXPECT_DOUBLE_EQ(m.alltoall_time(g, 1u << 20), 0.0);
+  const auto split = allreduce_bytes(g, 1u << 20);
+  EXPECT_DOUBLE_EQ(split.intra_node, 0.0);
+  EXPECT_DOUBLE_EQ(split.inter_node, 0.0);
+}
+
+TEST(CostModel, SingleRankGroupIsFree) {
+  CostModel m;
+  const auto g = m.group(std::vector<int>{5});
+  EXPECT_EQ(g.total_ranks(), 1);
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_DOUBLE_EQ(m.allreduce_time(g, 1u << 24), 0.0);
+  EXPECT_DOUBLE_EQ(m.broadcast_time(g, 1u << 24), 0.0);
+  EXPECT_DOUBLE_EQ(m.alltoall_time(g, 1u << 24), 0.0);
+  const auto split = allreduce_bytes(g, 1u << 24);
+  EXPECT_DOUBLE_EQ(split.intra_node + split.inter_node, 0.0);
+}
+
+TEST(CostModel, AllreduceBytesMatchTheFlatRingInDegenerateGroups) {
+  // One node of n: all wire bytes are intra and equal the flat ring's
+  // 2(n-1)·bytes.  All-singleton nodes: the same total, all inter.
+  CostModel m;
+  const std::size_t bytes = 32u << 20;
+  RankGroup one_node;
+  one_node.node_sizes = {6};
+  const auto intra_split = allreduce_bytes(one_node, bytes);
+  EXPECT_DOUBLE_EQ(intra_split.intra_node,
+                   2.0 * 5.0 * static_cast<double>(bytes));
+  EXPECT_DOUBLE_EQ(intra_split.inter_node, 0.0);
+
+  RankGroup singletons;
+  singletons.node_sizes.assign(6, 1);
+  const auto inter_split = allreduce_bytes(singletons, bytes);
+  EXPECT_DOUBLE_EQ(inter_split.intra_node, 0.0);
+  EXPECT_DOUBLE_EQ(inter_split.inter_node,
+                   2.0 * 5.0 * static_cast<double>(bytes));
+}
+
 TEST(CostModel, HierarchicalCollectivesGateOnWorstNode) {
   // Non-uniform node sizes, same total ranks: the lone rank on its own
   // node carries a full shard / crosses the most fabric, so the skewed

@@ -107,7 +107,7 @@ TEST(Deployment, CostModelMembershipIgnoresGpusPerNode) {
   EXPECT_EQ(g.node_sizes[1], 2);
 }
 
-TEST(Deployment, SessionTopologyShimStillWorks) {
+TEST(Deployment, SessionConsumesExplicitDeployment) {
   const auto m = model::make_gpt({.num_blocks = 32,
                                   .include_embedding = false,
                                   .include_lm_head = false});
@@ -117,7 +117,8 @@ TEST(Deployment, SessionTopologyShimStillWorks) {
   opt.session.iterations = 100;
   opt.session.sim_stride = 20;
   opt.session.rebalance_interval = 20;
-  opt.session.topology = cluster::Topology::make_dgx_h100(2);
+  opt.session.deployment = cluster::Deployment::make_topology_aware(
+      cluster::Topology::make_dgx_h100(2), 16);
   Session s(m, UseCase::EarlyExit, opt);
   EXPECT_GT(s.run().tokens_per_sec, 0.0);
 }
@@ -283,6 +284,210 @@ TEST(Deployment, SessionHierarchicalDiffusionReducesInterNodeBytes) {
   // Comparable end-to-end throughput: the hierarchy is not buying fabric
   // savings with a much slower pipeline.
   EXPECT_GT(hier.tokens_per_sec, 0.9 * flat.tokens_per_sec);
+}
+
+// ------------------------------------------------------------ DP×PP grids
+
+cluster::Topology rails_cluster(int nodes, int gpus_per_node) {
+  return cluster::Topology::make_homogeneous(
+      nodes, gpus_per_node, hw::GpuSpec::h100_sxm5(),
+      cluster::default_link(cluster::LinkType::NvLink),
+      cluster::default_link(cluster::LinkType::InfiniBand));
+}
+
+TEST(GridDeployment, FactoriesAccessorsAndReplicaViews) {
+  const auto dep = cluster::Deployment::make_grid_topology_aware(
+      rails_cluster(4, 4), /*data_parallel=*/4, /*num_stages=*/4,
+      cluster::GridOrientation::DpInner);
+  EXPECT_EQ(dep.data_parallel(), 4);
+  EXPECT_EQ(dep.num_stages(), 4);
+  EXPECT_EQ(static_cast<int>(dep.grid_to_rank().size()), 16);
+  // rank(stage) is the dp = 0 view.
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(dep.rank(s), dep.rank(0, s));
+  // Each replica view is a dp = 1 deployment over the same topology with
+  // the replica's slice of the grid.
+  for (int d = 0; d < 4; ++d) {
+    const auto rep = dep.replica(d);
+    EXPECT_EQ(rep.data_parallel(), 1);
+    EXPECT_EQ(rep.num_stages(), 4);
+    for (int s = 0; s < 4; ++s) EXPECT_EQ(rep.rank(s), dep.rank(d, s));
+  }
+  // DpInner: a stage's peers share one node; PpInner: they all sit apart.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(dep.dp_group(s).num_nodes(), 1) << "stage " << s;
+  }
+  const auto pp_inner = cluster::Deployment::make_grid_topology_aware(
+      rails_cluster(4, 4), 4, 4, cluster::GridOrientation::PpInner);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(pp_inner.dp_group(s).num_nodes(), 4) << "stage " << s;
+  }
+}
+
+TEST(GridDeployment, MakeGridValidatesShapeAndRanks) {
+  auto topo = rails_cluster(2, 4);
+  // Grid size must divide into replicas.
+  EXPECT_THROW((void)cluster::Deployment::make_grid(topo, 3, {0, 1, 2, 3}),
+               Error);
+  // Ranks distinct across the whole grid, not just within a replica.
+  EXPECT_THROW((void)cluster::Deployment::make_grid(topo, 2, {0, 1, 1, 2}),
+               Error);
+  EXPECT_THROW((void)cluster::Deployment::make_grid(topo, 2, {0, 1, 2, 99}),
+               Error);
+  EXPECT_THROW((void)cluster::Deployment::make_grid(topo, 0, {0, 1}), Error);
+  // A legal explicit grid round-trips.
+  const auto dep =
+      cluster::Deployment::make_grid(topo, 2, {0, 1, 4, 5});
+  EXPECT_EQ(dep.rank(1, 0), 4);
+  EXPECT_EQ(dep.dp_group(0).num_nodes(), 2);
+}
+
+// Property: when all of a stage's DP peers share one node, the dp_group
+// allreduce is *exactly* the flat intra-node ring formula — the
+// hierarchical pricing introduces no artificial discount.
+TEST(GridDeployment, DpGroupAllreduceEqualsFlatWhenPeersShareOneNode) {
+  const auto dep = cluster::Deployment::make_grid_topology_aware(
+      rails_cluster(4, 4), 4, 4, cluster::GridOrientation::DpInner);
+  const auto net = dep.make_cost_model();
+  const std::size_t bytes = 96u << 20;
+  for (int s = 0; s < 4; ++s) {
+    const auto g = dep.dp_group(s);
+    ASSERT_EQ(g.num_nodes(), 1);
+    EXPECT_DOUBLE_EQ(net.allreduce_time(g, bytes),
+                     net.allreduce_time(4, bytes, /*crosses_nodes=*/false));
+  }
+}
+
+// Property: whenever any two DP peers share a node, the node-grouped
+// pricing is strictly cheaper than the old singleton-node hack (every
+// gradient byte charged at the fabric tier).
+TEST(GridDeployment, DpGroupBeatsSingletonPricingWheneverPeersShareANode) {
+  // 2-GPU nodes, dp = 4: each stage's peers split 2+2 across two nodes.
+  const auto dep = cluster::Deployment::make_grid_topology_aware(
+      rails_cluster(4, 2), 4, 2, cluster::GridOrientation::DpInner);
+  const auto net = dep.make_cost_model();
+  const std::size_t bytes = 96u << 20;
+  comm::RankGroup singleton;
+  singleton.node_sizes.assign(4, 1);
+  singleton.intra = net.params(comm::LinkTier::NvLink);
+  singleton.inter = net.params(comm::LinkTier::InfiniBand);
+  for (int s = 0; s < 2; ++s) {
+    const auto g = dep.dp_group(s);
+    ASSERT_EQ(g.num_nodes(), 2);
+    EXPECT_GT(g.max_node_size(), 1);
+    EXPECT_LT(net.allreduce_time(g, bytes),
+              net.allreduce_time(singleton, bytes));
+  }
+}
+
+TEST(GridDeployment, SessionRejectsMismatchedDpWidth) {
+  const auto m = model::make_gpt({.num_blocks = 16,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  Options opt;
+  opt.session.pipeline_stages = 4;
+  opt.session.data_parallel = 4;  // grid says 2
+  opt.session.deployment = cluster::Deployment::make_grid_topology_aware(
+      rails_cluster(2, 4), 2, 4, cluster::GridOrientation::DpInner);
+  EXPECT_THROW((void)Session(m, UseCase::Static, opt).run(), Error);
+}
+
+// Session-level property: orientation moves the DP allreduce traffic the
+// way the topology says it must.  DpInner keeps every gradient byte inside
+// a node (zero fabric traffic); PpInner pays the fabric for all of it.
+TEST(GridDeployment, OrientationMovesInterNodeDpBytesInTheExpectedDirection) {
+  const auto m = model::make_gpt({.num_blocks = 16,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  Options opt;
+  opt.session.pipeline_stages = 4;
+  opt.session.data_parallel = 4;
+  opt.session.num_microbatches = 8;
+  opt.session.iterations = 50;
+  opt.session.sim_stride = 10;
+
+  const auto run_orientation = [&](cluster::GridOrientation o) {
+    Options local = opt;
+    local.session.deployment = cluster::Deployment::make_grid_topology_aware(
+        rails_cluster(4, 4), 4, 4, o);
+    Session s(m, UseCase::Static, local);
+    return s.run();
+  };
+  const auto dp_inner = run_orientation(cluster::GridOrientation::DpInner);
+  const auto pp_inner = run_orientation(cluster::GridOrientation::PpInner);
+
+  EXPECT_GT(dp_inner.intra_node_dp_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(dp_inner.inter_node_dp_bytes, 0.0);
+  EXPECT_GT(pp_inner.inter_node_dp_bytes, 0.0);
+  EXPECT_LT(dp_inner.inter_node_dp_bytes, pp_inner.inter_node_dp_bytes);
+}
+
+// The synthetic (deployment-less) DP path groups replicas by
+// net.gpus_per_node instead of all-singleton nodes: when several replica
+// pipelines tile into one node, part of the exchange stays intra-node and
+// the allreduce gets cheaper, so throughput must not drop.
+TEST(GridDeployment, SyntheticDpPathGroupsReplicasByNodeSize) {
+  const auto m = model::make_gpt({.num_blocks = 16,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  Options opt;
+  opt.session.pipeline_stages = 2;
+  opt.session.data_parallel = 4;
+  opt.session.num_microbatches = 8;
+  opt.session.iterations = 50;
+  opt.session.sim_stride = 10;
+
+  const auto run_with_node_size = [&](int gpus_per_node) {
+    Options local = opt;
+    local.session.net.gpus_per_node = gpus_per_node;
+    Session s(m, UseCase::Static, local);
+    return s.run();
+  };
+  // 8-GPU nodes: all four 2-stage replicas share one node — no fabric DP
+  // traffic at all.  1-GPU nodes: the old singleton regime.
+  const auto wide = run_with_node_size(8);
+  const auto singleton = run_with_node_size(1);
+  EXPECT_GT(wide.intra_node_dp_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(wide.inter_node_dp_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(singleton.intra_node_dp_bytes, 0.0);
+  EXPECT_GT(singleton.inter_node_dp_bytes, 0.0);
+  EXPECT_GE(wide.tokens_per_sec, singleton.tokens_per_sec);
+}
+
+TEST(GridDeployment, MigrationBytesAreMirroredAcrossReplicas) {
+  // The same MoE run on one replica vs. a 2-wide grid whose replica 0 has
+  // the identical placement: every layer move is mirrored, so the grid
+  // must report about twice the migration traffic (the second replica
+  // straddles the same node boundaries by symmetry).
+  const auto m = model::make_moe(model::llama_moe_3_5b_config(), "m");
+  Options opt;
+  opt.session.pipeline_stages = 8;
+  opt.session.num_microbatches = 16;
+  opt.session.iterations = 60;
+  opt.session.sim_stride = 10;
+  opt.session.rebalance_interval = 1;
+  opt.moe.tokens_per_microbatch = 512;
+
+  const auto topo = [] { return rails_cluster(4, 4); };
+  const auto grid = cluster::Deployment::make_grid_topology_aware(
+      topo(), 2, 8, cluster::GridOrientation::PpInner);
+
+  Options single_opt = opt;
+  single_opt.session.data_parallel = 1;
+  single_opt.session.deployment =
+      cluster::Deployment::make(topo(), std::vector<int>(
+          grid.stage_to_rank(0).begin(), grid.stage_to_rank(0).end()));
+  Options grid_opt = opt;
+  grid_opt.session.data_parallel = 2;
+  grid_opt.session.deployment = grid;
+
+  const auto single = Session(m, UseCase::Moe, single_opt).run();
+  const auto doubled = Session(m, UseCase::Moe, grid_opt).run();
+  const double single_total = single.intra_node_migration_bytes +
+                              single.inter_node_migration_bytes;
+  const double grid_total = doubled.intra_node_migration_bytes +
+                            doubled.inter_node_migration_bytes;
+  EXPECT_GT(single_total, 0.0);
+  EXPECT_NEAR(grid_total, 2.0 * single_total, 0.5 * single_total);
 }
 
 TEST(Deployment, SessionHierarchicalNeedsDeployment) {
