@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dynmo/dynmo.hpp"
@@ -78,6 +81,73 @@ inline void print_table(const std::string& title,
                 r.result.tokens_per_sec / baseline_tokens_per_sec);
   }
 }
+
+/// `--json PATH` argument shared by the figure benches (returns nullptr
+/// when absent).
+inline const char* json_path_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+/// Uniform BENCH_fig3_*.json recorder: one object per bench, one entry per
+/// case (model size / MoE variant), one row per series — the same rows
+/// print_table shows, minus overhead_fraction (dominated by the *measured*
+/// decide wall-clock, hence machine-dependent).  Throughputs are rounded
+/// to 4 significant digits and speedups — ratios of two measured values,
+/// so their jitter compounds — to 3, so the residual decide-time jitter
+/// cannot move a recorded trajectory (see docs/BENCHMARKS.md).
+class JsonRecorder {
+ public:
+  explicit JsonRecorder(std::string bench) : bench_(std::move(bench)) {}
+
+  void add_case(const std::string& title, const std::vector<Row>& rows,
+                double baseline_tokens_per_sec) {
+    cases_.push_back({title, rows, baseline_tokens_per_sec});
+  }
+
+  void write(const char* path) const {
+    FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path);
+      std::exit(2);
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"cases\": [\n",
+                 bench_.c_str());
+    for (std::size_t c = 0; c < cases_.size(); ++c) {
+      const Case& cs = cases_[c];
+      std::fprintf(f, "    {\"case\": \"%s\", \"rows\": [\n",
+                   cs.title.c_str());
+      for (std::size_t r = 0; r < cs.rows.size(); ++r) {
+        const auto& res = cs.rows[r].result;
+        std::fprintf(
+            f,
+            "      {\"series\": \"%s\", \"tokens_per_sec\": %.4g, "
+            "\"idleness\": %.4g, \"bubble_ratio\": %.4g, "
+            "\"speedup\": %.3g}%s\n",
+            cs.rows[r].label.c_str(), res.tokens_per_sec, res.avg_idleness,
+            res.avg_bubble_ratio, res.tokens_per_sec / cs.baseline,
+            r + 1 < cs.rows.size() ? "," : "");
+      }
+      std::fprintf(f, "    ]}%s\n", c + 1 < cases_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+  }
+
+ private:
+  struct Case {
+    std::string title;
+    std::vector<Row> rows;
+    double baseline;
+  };
+  std::string bench_;
+  std::vector<Case> cases_;
+};
 
 /// Run one (mode, algorithm, by) configuration of a use case.
 inline runtime::SessionResult run_config(const model::ModelDesc& model,

@@ -8,8 +8,10 @@
 // almost none of the compute savings (its bubbles grow ~5x, Fig. 1).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynmo;
+  bench::JsonRecorder rec("fig3_early_exit");
+  const char* json_path = bench::json_path_arg(argc, argv);
   std::printf("Figure 3 — Early Exit: tokens/sec on 720 simulated H100s\n");
 
   for (std::size_t blocks : {24u, 32u, 40u, 48u}) {
@@ -39,15 +41,17 @@ int main() {
         bench::run_dynmo_best(model, UseCase::EarlyExit, opt_repack,
                               balance::Algorithm::Diffusion, true);
 
-    bench::print_table(
-        std::to_string(blocks) + " layers",
-        {{"No Early Exit (static)", no_exit},
-         {"Early exit, static placement", static_exit},
-         {"DynMo (Partition) w/o re-packing", part},
-         {"DynMo (Diffusion) w/o re-packing", diff},
-         {"DynMo (Partition) + re-packing", part_rp},
-         {"DynMo (Diffusion) + re-packing", diff_rp}},
-        no_exit.tokens_per_sec);
+    const std::vector<bench::Row> rows = {
+        {"No Early Exit (static)", no_exit},
+        {"Early exit, static placement", static_exit},
+        {"DynMo (Partition) w/o re-packing", part},
+        {"DynMo (Diffusion) w/o re-packing", diff},
+        {"DynMo (Partition) + re-packing", part_rp},
+        {"DynMo (Diffusion) + re-packing", diff_rp}};
+    const std::string title = std::to_string(blocks) + " layers";
+    bench::print_table(title, rows, no_exit.tokens_per_sec);
+    rec.add_case(title, rows, no_exit.tokens_per_sec);
   }
+  if (json_path != nullptr) rec.write(json_path);
   return 0;
 }

@@ -5,8 +5,10 @@
 // Paper speedups over Egeria: 1.36x-1.69x, growing with layer count.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynmo;
+  bench::JsonRecorder rec("fig3_freezing");
+  const char* json_path = bench::json_path_arg(argc, argv);
   std::printf(
       "Figure 3 — Layer Freezing: tokens/sec on 720 simulated H100s\n"
       "freeze checks every 300 iterations, front-biased convergence\n");
@@ -38,13 +40,16 @@ int main() {
         bench::run_dynmo_best(model, UseCase::LayerFreezing, opt,
                               balance::Algorithm::Diffusion, true);
 
-    bench::print_table(std::to_string(blocks) + " layers",
-                       {{"Egeria (no balancing)", egeria},
-                        {"DynMo (Partition) w/o re-packing", part},
-                        {"DynMo (Diffusion) w/o re-packing", diff},
-                        {"DynMo (Partition) + re-packing", part_rp},
-                        {"DynMo (Diffusion) + re-packing", diff_rp}},
-                       egeria.tokens_per_sec);
+    const std::vector<bench::Row> rows = {
+        {"Egeria (no balancing)", egeria},
+        {"DynMo (Partition) w/o re-packing", part},
+        {"DynMo (Diffusion) w/o re-packing", diff},
+        {"DynMo (Partition) + re-packing", part_rp},
+        {"DynMo (Diffusion) + re-packing", diff_rp}};
+    const std::string title = std::to_string(blocks) + " layers";
+    bench::print_table(title, rows, egeria.tokens_per_sec);
+    rec.add_case(title, rows, egeria.tokens_per_sec);
   }
+  if (json_path != nullptr) rec.write(json_path);
   return 0;
 }

@@ -6,8 +6,10 @@
 // Paper speedups: 1.16x-1.17x (the ~18% routing imbalance drops to ~4%).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynmo;
+  bench::JsonRecorder rec("fig3_mod");
+  const char* json_path = bench::json_path_arg(argc, argv);
   std::printf(
       "Figure 3 — Mixture of Depths: tokens/sec on 720 simulated H100s\n"
       "capacity 0.5, routed every other block; rebalance every iteration\n");
@@ -37,12 +39,14 @@ int main() {
 
     const double best_static =
         std::max(megatron.tokens_per_sec, deepspeed.tokens_per_sec);
-    bench::print_table(std::to_string(blocks) + " layers",
-                       {{"Static (Megatron-LM)", megatron},
-                        {"Static (DeepSpeed)", deepspeed},
-                        {"DynMo (Partition)", part},
-                        {"DynMo (Diffusion)", diff}},
-                       best_static);
+    const std::vector<bench::Row> rows = {{"Static (Megatron-LM)", megatron},
+                                          {"Static (DeepSpeed)", deepspeed},
+                                          {"DynMo (Partition)", part},
+                                          {"DynMo (Diffusion)", diff}};
+    const std::string title = std::to_string(blocks) + " layers";
+    bench::print_table(title, rows, best_static);
+    rec.add_case(title, rows, best_static);
   }
+  if (json_path != nullptr) rec.write(json_path);
   return 0;
 }

@@ -9,8 +9,10 @@
 // ratio 25% -> 8%.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynmo;
+  bench::JsonRecorder rec("fig3_moe");
+  const char* json_path = bench::json_path_arg(argc, argv);
   std::printf("Figure 3 — Mixture of Experts: tokens/sec on 128 simulated "
               "H100s (16-way DP x 8-way PP)\n");
 
@@ -55,13 +57,13 @@ int main() {
 
     const double best_static =
         std::max(megatron.tokens_per_sec, deepspeed.tokens_per_sec);
-    bench::print_table(c.name,
-                       {{"Static (Megatron-LM)", megatron},
-                        {"Static (DeepSpeed)", deepspeed},
-                        {"Tutel", tutel},
-                        {"DynMo (Partition)", part},
-                        {"DynMo (Diffusion)", diff}},
-                       best_static);
+    const std::vector<bench::Row> rows = {{"Static (Megatron-LM)", megatron},
+                                          {"Static (DeepSpeed)", deepspeed},
+                                          {"Tutel", tutel},
+                                          {"DynMo (Partition)", part},
+                                          {"DynMo (Diffusion)", diff}};
+    bench::print_table(c.name, rows, best_static);
+    rec.add_case(c.name, rows, best_static);
     std::printf("bubble ratio: static %.1f%% -> DynMo %.1f%%  |  "
                 "DynMo vs Tutel: %.2fx\n",
                 100.0 * megatron.avg_bubble_ratio,
@@ -70,5 +72,6 @@ int main() {
                 std::max(part.tokens_per_sec, diff.tokens_per_sec) /
                     tutel.tokens_per_sec);
   }
+  if (json_path != nullptr) rec.write(json_path);
   return 0;
 }

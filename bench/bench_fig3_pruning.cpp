@@ -8,8 +8,10 @@
 // Paper speedups: 2.32x-2.84x (up to 3.18x).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynmo;
+  bench::JsonRecorder rec("fig3_pruning");
+  const char* json_path = bench::json_path_arg(argc, argv);
   std::printf(
       "Figure 3 — Gradual Pruning: tokens/sec on 720 simulated H100s\n"
       "schedule: prune at iters 3000..7000 every 1000, final sparsity 90%%\n");
@@ -43,14 +45,17 @@ int main() {
 
     const double best_static =
         std::max(megatron.tokens_per_sec, deepspeed.tokens_per_sec);
-    bench::print_table(std::to_string(blocks) + " layers",
-                       {{"Static (Megatron-LM)", megatron},
-                        {"Static (DeepSpeed)", deepspeed},
-                        {"DynMo (Partition) w/o re-packing", part},
-                        {"DynMo (Diffusion) w/o re-packing", diff},
-                        {"DynMo (Partition) + re-packing", part_rp},
-                        {"DynMo (Diffusion) + re-packing", diff_rp}},
-                       best_static);
+    const std::vector<bench::Row> rows = {
+        {"Static (Megatron-LM)", megatron},
+        {"Static (DeepSpeed)", deepspeed},
+        {"DynMo (Partition) w/o re-packing", part},
+        {"DynMo (Diffusion) w/o re-packing", diff},
+        {"DynMo (Partition) + re-packing", part_rp},
+        {"DynMo (Diffusion) + re-packing", diff_rp}};
+    const std::string title = std::to_string(blocks) + " layers";
+    bench::print_table(title, rows, best_static);
+    rec.add_case(title, rows, best_static);
   }
+  if (json_path != nullptr) rec.write(json_path);
   return 0;
 }

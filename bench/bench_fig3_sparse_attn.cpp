@@ -7,8 +7,10 @@
 // iteration.  Paper speedups over dense: 2.71x-4.02x.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynmo;
+  bench::JsonRecorder rec("fig3_sparse_attn");
+  const char* json_path = bench::json_path_arg(argc, argv);
   std::printf(
       "Figure 3 — Dynamic Sparse Attention: tokens/sec on 720 simulated "
       "H100s\nper-iteration LSH re-hash; rebalance every iteration\n");
@@ -35,12 +37,15 @@ int main() {
     const auto diff = bench::run_dynmo_best(model, UseCase::SparseAttention,
                                             opt, balance::Algorithm::Diffusion);
 
-    bench::print_table(std::to_string(blocks) + " layers",
-                       {{"Dense attention (static)", dense},
-                        {"Sparse attn, static placement", static_sparse},
-                        {"DynMo (Partition)", part},
-                        {"DynMo (Diffusion)", diff}},
-                       dense.tokens_per_sec);
+    const std::vector<bench::Row> rows = {
+        {"Dense attention (static)", dense},
+        {"Sparse attn, static placement", static_sparse},
+        {"DynMo (Partition)", part},
+        {"DynMo (Diffusion)", diff}};
+    const std::string title = std::to_string(blocks) + " layers";
+    bench::print_table(title, rows, dense.tokens_per_sec);
+    rec.add_case(title, rows, dense.tokens_per_sec);
   }
+  if (json_path != nullptr) rec.write(json_path);
   return 0;
 }

@@ -4,18 +4,36 @@
 # Builds the JSON-capable benches (Release) and rewrites
 #   bench/BENCH_topology_balance.json  (balancer sweep + grid orientations)
 #   bench/BENCH_fig4_repack.json       (forced + automatic re-packing)
+#   bench/BENCH_payoff_window.json     (payoff acceptance vs. cadence)
+#   bench/BENCH_fig3_<use_case>.json   (the six Figure-3 panels)
 # with the current aggregates.  All bench arithmetic is deterministic
-# (fixed seeds, analytic cost models), so the recorded numbers are
+# (fixed seeds, analytic cost models) and throughputs are rounded past the
+# session's measured decide-time jitter, so the recorded numbers are
 # machine-independent and diffs in the JSON are real behavior changes —
-# commit the files alongside the change that moved them.
+# commit the files alongside the change that moved them.  See
+# docs/BENCHMARKS.md for the schemas.
 #
 # Usage: bench/record_bench.sh [build-dir]   (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build}
 
+BENCHES=(
+  topology_balance
+  fig4_repack
+  payoff_window
+  fig3_early_exit
+  fig3_freezing
+  fig3_mod
+  fig3_moe
+  fig3_pruning
+  fig3_sparse_attn
+)
+
 cmake -B "$BUILD_DIR" -S . -DDYNMO_BUILD_BENCH=ON >/dev/null
-cmake --build "$BUILD_DIR" --target bench_topology_balance \
-  --target bench_fig4_repack -j >/dev/null
-"$BUILD_DIR/bench_topology_balance" --json bench/BENCH_topology_balance.json
-"$BUILD_DIR/bench_fig4_repack" --json bench/BENCH_fig4_repack.json
+for b in "${BENCHES[@]}"; do
+  cmake --build "$BUILD_DIR" --target "bench_$b" -j >/dev/null
+done
+for b in "${BENCHES[@]}"; do
+  "$BUILD_DIR/bench_$b" --json "bench/BENCH_$b.json"
+done

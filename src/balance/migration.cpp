@@ -54,6 +54,25 @@ double MigrationPlan::estimated_time_s(
   });
 }
 
+MigrationCost MigrationPlan::exposed_cost(
+    const comm::CostModel& net, std::span<const int> stage_to_rank) const {
+  MigrationCost cost;
+  cost.time_s = stage_to_rank.empty() ? estimated_time_s(net)
+                                      : estimated_time_s(net, stage_to_rank);
+  const auto rank_of = [&](int stage) {
+    if (stage_to_rank.empty()) return stage;
+    return stage_to_rank[static_cast<std::size_t>(stage)];
+  };
+  for (const auto& t : transfers) {
+    if (net.same_node(rank_of(t.src_stage), rank_of(t.dst_stage))) {
+      cost.intra_node_bytes += t.bytes;
+    } else {
+      cost.inter_node_bytes += t.bytes;
+    }
+  }
+  return cost;
+}
+
 MigrationPlan plan_migration(const pipeline::StageMap& before,
                              const pipeline::StageMap& after,
                              std::span<const double> state_bytes) {

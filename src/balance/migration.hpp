@@ -22,6 +22,19 @@ struct LayerTransfer {
   double bytes = 0.0;
 };
 
+/// Deployment-priced exposed cost of a migration plan: the wall-clock the
+/// plan stalls the pipeline for (per-rank serialization bottleneck) plus
+/// its wire bytes split by whether each transfer crosses a node boundary.
+/// Node membership comes from the cost model, so a Deployment/Topology-
+/// backed model classifies by the real cluster graph and the flat model by
+/// its `gpus_per_node` rule.
+struct MigrationCost {
+  double time_s = 0.0;            ///< per-rank serialization bottleneck
+  double intra_node_bytes = 0.0;  ///< bytes moved inside nodes
+  double inter_node_bytes = 0.0;  ///< bytes moved across the fabric
+  double total_bytes() const { return intra_node_bytes + inter_node_bytes; }
+};
+
 struct MigrationPlan {
   std::vector<LayerTransfer> transfers;
 
@@ -34,6 +47,11 @@ struct MigrationPlan {
   /// actually share.
   double estimated_time_s(const comm::CostModel& net,
                           std::span<const int> stage_to_rank) const;
+  /// estimated_time_s plus the intra/inter-node byte split — what the
+  /// payoff-window acceptance rule weighs against the projected gain.
+  /// Empty `stage_to_rank` → stage s is rank s.
+  MigrationCost exposed_cost(const comm::CostModel& net,
+                             std::span<const int> stage_to_rank = {}) const;
 };
 
 /// Diff `before` → `after`; `state_bytes[l]` is what layer l's migration

@@ -17,6 +17,15 @@ const char* to_string(Algorithm a) {
   return "?";
 }
 
+const char* to_string(MapDecision d) {
+  switch (d) {
+    case MapDecision::Accepted: return "accepted";
+    case MapDecision::RejectedBottleneck: return "rejected_bottleneck";
+    case MapDecision::RejectedPayoff: return "rejected_payoff";
+  }
+  return "?";
+}
+
 RebalanceOutcome Rebalancer::rebalance(
     const LayerProfile& profile, const pipeline::StageMap& current) const {
   DYNMO_CHECK(profile.consistent(), "inconsistent profile");
@@ -64,30 +73,55 @@ RebalanceOutcome Rebalancer::rebalance(
   }
   const auto t1 = std::chrono::steady_clock::now();
 
-  // Hysteresis: a new placement must pay for its migrations with a real
-  // bottleneck improvement, or we keep the current one.  Bottlenecks are
-  // capacity-normalized so a heterogeneous deployment compares what
-  // actually gates the pipeline.
-  {
-    auto cur_loads = current.stage_loads(weights);
-    auto new_loads = out.map.stage_loads(weights);
+  // Capacity-normalized per-stage bottleneck — what actually gates a
+  // (possibly heterogeneous) pipeline.
+  const auto normalized_max = [&](const pipeline::StageMap& m,
+                                  std::span<const double> per_layer) {
+    auto loads = m.stage_loads(per_layer);
     if (!cfg_.capacities.empty()) {
-      DYNMO_CHECK(cfg_.capacities.size() == cur_loads.size(),
+      DYNMO_CHECK(cfg_.capacities.size() == loads.size(),
                   "capacity vector covers " << cfg_.capacities.size()
                                             << " stages, map has "
-                                            << cur_loads.size());
-      for (std::size_t s = 0; s < cur_loads.size(); ++s) {
-        const double c = std::max(1e-12, cfg_.capacities[s]);
-        cur_loads[s] /= c;
-        new_loads[s] /= c;
+                                            << loads.size());
+      for (std::size_t s = 0; s < loads.size(); ++s) {
+        loads[s] /= std::max(1e-12, cfg_.capacities[s]);
       }
     }
-    const double cur_max =
-        *std::max_element(cur_loads.begin(), cur_loads.end());
-    const double new_max =
-        *std::max_element(new_loads.begin(), new_loads.end());
-    if (new_max > cur_max * (1.0 - cfg_.min_bottleneck_gain)) {
+    return *std::max_element(loads.begin(), loads.end());
+  };
+
+  // Acceptance, step 1 — hysteresis: a new placement must promise a real
+  // bottleneck improvement (in the balancing weights' units), or we keep
+  // the current one.
+  const MigrationPlan candidate =
+      plan_migration(current, out.map, profile.memory_bytes);
+  out.candidate_bytes = candidate.total_bytes();
+  if (!candidate.empty() &&
+      normalized_max(out.map, weights) >
+          normalized_max(current, weights) *
+              (1.0 - cfg_.min_bottleneck_gain)) {
+    out.map = current;
+    out.decision = MapDecision::RejectedBottleneck;
+  }
+
+  // Acceptance, step 2 — payoff window: the improvement must also amortize
+  // the migration's exposed transfer cost within the configured number of
+  // iterations.  The gain is measured on the profile's *time* loads
+  // (seconds even when balancing by parameters); the cost is the plan's
+  // per-rank bottleneck over the actual deployment links, mirrored across
+  // DP replicas and discounted by backprop overlap.
+  if (out.decision == MapDecision::Accepted && !candidate.empty()) {
+    out.projected_gain_s = normalized_max(current, profile.time_s) -
+                           normalized_max(out.map, profile.time_s);
+    const MigrationCost priced =
+        candidate.exposed_cost(net_, cfg_.stage_to_rank);
+    out.exposed_cost_s = priced.time_s * cfg_.migration_cost_multiplier *
+                         cfg_.migration_exposed_fraction;
+    if (cfg_.payoff_window_iters > 0.0 &&
+        out.projected_gain_s * cfg_.payoff_window_iters <
+            out.exposed_cost_s) {
       out.map = current;
+      out.decision = MapDecision::RejectedPayoff;
     }
   }
 
@@ -98,7 +132,8 @@ RebalanceOutcome Rebalancer::rebalance(
           static_cast<double>(profile.num_layers()) +
       cfg_.profile_cost_per_worker_s * static_cast<double>(S);
 
-  out.migration = plan_migration(current, out.map, profile.memory_bytes);
+  out.migration =
+      out.decision == MapDecision::Accepted ? candidate : MigrationPlan{};
   out.overhead.migrate_s =
       cfg_.stage_to_rank.empty()
           ? out.migration.estimated_time_s(net_)

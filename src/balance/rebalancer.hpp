@@ -45,6 +45,25 @@ struct RebalanceConfig {
   /// projected bottleneck by at least this fraction.  Prevents migration
   /// churn from chasing profiling noise at every-iteration cadences.
   double min_bottleneck_gain = 0.02;
+  /// Payoff-window acceptance (paper §3.3: a migration only pays off when
+  /// its exposed transfer cost is amortized before the load shifts again).
+  /// A candidate map that passes the bottleneck hysteresis is adopted only
+  /// when
+  ///   projected_gain_per_iter_s * payoff_window_iters
+  ///       >= exposed_migration_cost_s
+  /// where the gain is the capacity-normalized bottleneck improvement on
+  /// the profile's *time* loads (seconds, whatever BalanceBy drives the
+  /// balancer) and the cost is the plan's per-rank bottleneck priced over
+  /// `stage_to_rank`'s links, scaled by the two factors below.  <= 0
+  /// disables the rule (bottleneck-only hysteresis).
+  double payoff_window_iters = 0.0;
+  /// Replicas mirroring every move (a DP grid migrates each layer in all
+  /// `data_parallel` replicas, and the transfers contend for the same
+  /// fabric) — multiplies the priced migration cost.
+  double migration_cost_multiplier = 1.0;
+  /// Fraction of the priced migration time actually exposed (the runtime
+  /// hides most of it under backward compute at every-iteration cadences).
+  double migration_exposed_fraction = 1.0;
   /// Stage s runs on rank stage_to_rank[s] (a deployment's placement);
   /// empty → stage s is rank s.  Migration costs are priced over these
   /// ranks, so a Deployment-backed cost model charges each move the link
@@ -75,6 +94,15 @@ struct OverheadBreakdown {
   }
 };
 
+/// What happened to the candidate map the balancing algorithm proposed.
+enum class MapDecision {
+  Accepted,            ///< adopted (possibly identical to the current map)
+  RejectedBottleneck,  ///< hysteresis: gain below min_bottleneck_gain
+  RejectedPayoff,      ///< gain x window does not cover the exposed cost
+};
+
+const char* to_string(MapDecision d);
+
 struct RebalanceOutcome {
   pipeline::StageMap map;
   OverheadBreakdown overhead;
@@ -82,6 +110,16 @@ struct RebalanceOutcome {
   double imbalance_before = 0.0;  ///< paper Eq. (2) on stage loads
   double imbalance_after = 0.0;
   std::optional<DiffusionResult> diffusion;  ///< set for Algorithm::Diffusion
+  MapDecision decision = MapDecision::Accepted;
+  /// Projected per-iteration bottleneck gain of the candidate, in seconds
+  /// (capacity-normalized time loads; 0 when the candidate equals current).
+  double projected_gain_s = 0.0;
+  /// Priced exposed cost of the candidate's migration (after multiplier
+  /// and exposure scaling) — what the payoff rule compared against.
+  double exposed_cost_s = 0.0;
+  /// Bytes the candidate would have moved; equals migration.total_bytes()
+  /// when accepted, the avoided traffic when rejected.
+  double candidate_bytes = 0.0;
 };
 
 class Rebalancer {

@@ -1,6 +1,7 @@
 #include "cluster/hier_balancer.hpp"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 
 #include "balance/partition.hpp"
@@ -44,6 +45,27 @@ std::vector<double> slice(std::span<const double> v, std::size_t lo,
   if (v.empty()) return {};
   return {v.begin() + static_cast<std::ptrdiff_t>(lo),
           v.begin() + static_cast<std::ptrdiff_t>(hi)};
+}
+
+/// Per-rank serialized wall-clock of a plan priced by the topology's
+/// shortest-path links — the same serialization rule as
+/// balance::MigrationPlan::estimated_time_s without snapshotting a
+/// CostModel for every balance() call.
+double topo_migration_time(const balance::MigrationPlan& plan,
+                           const Topology& topo,
+                           std::span<const int> stage_to_rank) {
+  std::map<int, double> rank_time;
+  for (const auto& t : plan.transfers) {
+    const int src = stage_to_rank[static_cast<std::size_t>(t.src_stage)];
+    const int dst = stage_to_rank[static_cast<std::size_t>(t.dst_stage)];
+    const double s =
+        topo.p2p_time(src, dst, static_cast<std::size_t>(t.bytes));
+    rank_time[src] += s;
+    rank_time[dst] += s;
+  }
+  double worst = 0.0;
+  for (const auto& [rank, s] : rank_time) worst = std::max(worst, s);
+  return worst;
 }
 
 }  // namespace
@@ -282,9 +304,35 @@ HierResult HierarchicalBalancer::balance(
     };
     if (normalized_bottleneck(inter_map) <
         normalized_bottleneck(map) * (1.0 - cfg_.inter_node_gain)) {
-      res.used_inter_node = true;
-      converged = inter_converged;
-      map = inter_map;
+      // Payoff window: the inter map's bottleneck gain (per iteration, in
+      // the weights' units — seconds under time balancing) must also cover
+      // the *extra* exposed transfer cost it pays over the intra-only map,
+      // both plans priced from `start` over the topology's actual links.
+      bool pays_off = true;
+      if (cfg_.payoff_window_iters > 0.0 &&
+          req.memory_bytes.size() == start.num_layers()) {
+        const double gain = normalized_bottleneck(map) -
+                            normalized_bottleneck(inter_map);
+        const auto to_inter =
+            balance::plan_migration(start, inter_map, req.memory_bytes);
+        const auto to_intra =
+            balance::plan_migration(start, map, req.memory_bytes);
+        res.inter_exposed_cost_s =
+            std::max(0.0,
+                     topo_migration_time(to_inter, *topo_, stage_to_rank) -
+                         topo_migration_time(to_intra, *topo_,
+                                             stage_to_rank)) *
+            cfg_.migration_cost_multiplier;
+        if (gain * cfg_.payoff_window_iters < res.inter_exposed_cost_s) {
+          pays_off = false;
+          res.inter_rejected_by_payoff = true;
+        }
+      }
+      if (pays_off) {
+        res.used_inter_node = true;
+        converged = inter_converged;
+        map = inter_map;
+      }
     }
   }
 

@@ -42,6 +42,19 @@ struct HierConfig {
   /// Normalize stage loads by each rank's GPU throughput (heterogeneous
   /// clusters); request-supplied capacities override this.
   bool capacity_aware = true;
+  /// Payoff-window acceptance for the inter-node level: adopt the level-2
+  /// map only when its capacity-normalized bottleneck gain over the
+  /// intra-only map, times this many iterations, covers the *extra*
+  /// exposed transfer cost the inter map pays over the topology's links.
+  /// The gain is in the units of req.weights, so this is meaningful when
+  /// the balancer runs on time loads (seconds) — runtime::TrainingSession
+  /// wires it only for BalanceBy::Time.  <= 0 → relative-gain check only.
+  double payoff_window_iters = 0.0;
+  /// Multiplies the priced inter-node migration cost; fold in every
+  /// multiplicative factor on what a move really costs — DP replicas
+  /// mirroring it, and any backprop-overlap discount on the exposed
+  /// fraction (runtime::TrainingSession sets both).
+  double migration_cost_multiplier = 1.0;
 };
 
 struct HierResult {
@@ -55,6 +68,13 @@ struct HierResult {
   double imbalance_after_intra = 0.0;  ///< after level 1 only
   double imbalance_after = 0.0;        ///< final
   bool converged = false;
+  /// Level-2 result beat the relative-gain bar but was rejected because
+  /// its extra exposed migration cost did not amortize within the payoff
+  /// window.
+  bool inter_rejected_by_payoff = false;
+  /// Extra exposed cost (seconds) the rejected/adopted inter map would pay
+  /// over the intra-only map; 0 when level 2 never ran.
+  double inter_exposed_cost_s = 0.0;
 };
 
 class HierarchicalBalancer {

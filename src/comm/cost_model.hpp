@@ -119,12 +119,19 @@ class CostModel {
 
   /// Which tier connects two global ranks (same node → NVLink).
   LinkTier tier(int rank_a, int rank_b) const {
-    return node_of(rank_a) == node_of(rank_b) ? LinkTier::NvLink
-                                              : LinkTier::InfiniBand;
+    return same_node(rank_a, rank_b) ? LinkTier::NvLink
+                                     : LinkTier::InfiniBand;
   }
 
   int node_of(int rank) const {
     return node_resolver_ ? node_resolver_(rank) : rank / cfg_.gpus_per_node;
+  }
+
+  /// Whether two ranks share a node under this model's membership rule —
+  /// the bit that splits migration traffic into cheap intra-node moves and
+  /// expensive fabric crossings.
+  bool same_node(int rank_a, int rank_b) const {
+    return node_of(rank_a) == node_of(rank_b);
   }
 
   /// Effective link between two ranks: resolver if set, tier rule otherwise.

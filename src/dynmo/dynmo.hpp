@@ -46,6 +46,13 @@
 // SessionResult::{intra,inter}_node_dp_bytes where the gradient exchange
 // ran.
 //
+// Payoff-window acceptance (docs/COST_MODEL.md): with
+// opt.session.payoff_window_iters = W, every candidate map — from any
+// balancer, and every re-pack — must recoup its exposed migration cost
+// within W iterations of projected bottleneck gain, or it is rejected;
+// SessionResult::{maps_accepted, maps_rejected_bottleneck,
+// maps_rejected_payoff, migration_bytes_avoided} report the decisions.
+//
 // Everything the facade does is available piecemeal through the subsystem
 // headers (balance/, dynamic/, pipeline/, repack/, runtime/) for users who
 // need custom engines or schedules.

@@ -226,10 +226,27 @@ SessionResult TrainingSession::run() {
   }
   int active = S0;
 
+  const std::int64_t interval = effective_rebalance_interval();
+  // Migration traffic (issued or avoided) is mirrored in every DP replica
+  // of a grid deployment — same rule as record_migration_split below.
+  const double replica_mirror =
+      deployment_ ? static_cast<double>(deployment_->data_parallel()) : 1.0;
+
   balance::RebalanceConfig rb_cfg;
   rb_cfg.algorithm = cfg_.algorithm;
   rb_cfg.by = cfg_.balance_by;
   rb_cfg.mem_capacity = mem_capacity;
+  rb_cfg.min_bottleneck_gain = cfg_.min_bottleneck_gain;
+  rb_cfg.payoff_window_iters = cfg_.payoff_window_iters;
+  // Every replica transfers its own copy of a migrated layer and the
+  // copies contend for the same links, so the priced cost scales with the
+  // DP width; every-iteration cadences hide most of the transfer under
+  // backprop (§3.3.1) and only the remainder weighs against the gain.
+  rb_cfg.migration_cost_multiplier = static_cast<double>(cfg_.data_parallel);
+  if (interval == 1) {
+    rb_cfg.migration_exposed_fraction =
+        1.0 - std::clamp(cfg_.migration_overlap, 0.0, 1.0);
+  }
   if (deployment_) {
     // The deployment's placement prices migrations over the ranks they
     // actually connect, and its capacities make heterogeneous stages
@@ -239,17 +256,53 @@ SessionResult TrainingSession::run() {
     rb_cfg.capacities = deployment_->stage_capacities();
     if (cfg_.algorithm == balance::Algorithm::HierarchicalDiffusion) {
       // Inject the two-level balancer (cluster/ sits above balance/, so
-      // the orchestrator cannot reach it itself).
+      // the orchestrator cannot reach it itself).  Its inter-node payoff
+      // gate inherits the session window only under time balancing — the
+      // hier gain is in weight units, and only seconds compare against
+      // migration seconds.
+      cluster::HierConfig hier_cfg = cfg_.hier;
+      if (hier_cfg.payoff_window_iters <= 0.0 &&
+          cfg_.balance_by == balance::BalanceBy::Time) {
+        hier_cfg.payoff_window_iters = cfg_.payoff_window_iters;
+      }
+      // Same cost scaling as the flat gate: DP replicas mirror every
+      // move, and every-iteration cadences expose only the non-overlapped
+      // remainder of the transfer.
+      hier_cfg.migration_cost_multiplier *=
+          static_cast<double>(cfg_.data_parallel);
+      if (interval == 1) {
+        hier_cfg.migration_cost_multiplier *=
+            1.0 - std::clamp(cfg_.migration_overlap, 0.0, 1.0);
+      }
       rb_cfg.hierarchical_decider =
-          [this](const balance::DiffusionRequest& req,
-                 const pipeline::StageMap& current) {
-            return cluster::HierarchicalBalancer(deployment_->topology())
-                .balance(req, current, deployment_->stage_to_rank())
+          [this, hier_cfg](const balance::DiffusionRequest& req,
+                           const pipeline::StageMap& current) {
+            // Re-packing may have shrunk the pipeline; survivors are
+            // always the leading stages, so the placement prefix is
+            // their stage_to_rank.
+            const auto ranks = deployment_->stage_to_rank().first(
+                static_cast<std::size_t>(current.num_stages()));
+            return cluster::HierarchicalBalancer(deployment_->topology(),
+                                                 hier_cfg)
+                .balance(req, current, ranks)
                 .map;
           };
     }
   }
-  balance::Rebalancer rebalancer(rb_cfg, net_);
+  // Re-packing shrinks the pipeline to its leading stages, so the
+  // per-stage vectors are truncated to the surviving count (a fresh
+  // orchestrator is cheap — the cost model is shared state).
+  const auto make_rebalancer = [&](int stages) {
+    balance::RebalanceConfig c = rb_cfg;
+    if (!c.stage_to_rank.empty()) {
+      c.stage_to_rank.resize(static_cast<std::size_t>(stages));
+    }
+    if (!c.capacities.empty()) {
+      c.capacities.resize(static_cast<std::size_t>(stages));
+    }
+    return balance::Rebalancer(c, net_);
+  };
+  balance::Rebalancer rebalancer = make_rebalancer(S0);
 
   const auto record_migration_split = [&](const balance::MigrationPlan& plan,
                                           double scale, SessionResult& res) {
@@ -265,7 +318,30 @@ SessionResult TrainingSession::run() {
     }
   };
 
-  const std::int64_t interval = effective_rebalance_interval();
+  // Every rebalance outcome — the periodic one and the post-pack polish —
+  // flows through the same accounting: issued bytes into the node-split
+  // counters, the accept/reject decision into the map counters, rejected
+  // candidates' traffic into migration_bytes_avoided.
+  const auto account_outcome = [&](const balance::RebalanceOutcome& outcome,
+                                   double scale, SessionResult& res) {
+    record_migration_split(outcome.migration, scale, res);
+    switch (outcome.decision) {
+      case balance::MapDecision::Accepted:
+        if (!outcome.migration.empty()) ++res.maps_accepted;
+        break;
+      case balance::MapDecision::RejectedBottleneck:
+        ++res.maps_rejected_bottleneck;
+        res.migration_bytes_avoided +=
+            outcome.candidate_bytes * replica_mirror * scale;
+        break;
+      case balance::MapDecision::RejectedPayoff:
+        ++res.maps_rejected_payoff;
+        res.migration_bytes_avoided +=
+            outcome.candidate_bytes * replica_mirror * scale;
+        break;
+    }
+  };
+
   Rng noise_rng(hash_mix(cfg_.seed, 0x7e55));
 
   SessionResult res;
@@ -317,7 +393,7 @@ SessionResult TrainingSession::run() {
 
       const auto outcome = rebalancer.rebalance(profile, map);
       map = outcome.map;
-      record_migration_split(outcome.migration, events_per_window, res);
+      account_outcome(outcome, events_per_window, res);
       balance::OverheadBreakdown scaled = outcome.overhead;
       // Every-iteration rebalancing couples migration with backprop; only
       // the non-overlapped remainder is exposed.
@@ -392,15 +468,46 @@ SessionResult TrainingSession::run() {
               rb_cfg.stage_to_rank.empty()
                   ? migration.estimated_time_s(net_)
                   : migration.estimated_time_s(net_, rb_cfg.stage_to_rank);
-          record_migration_split(migration, 1.0, res);
-          event_time += migrate_s;
-          res.overhead.migrate_s += migrate_s;
-          map = packed;
-          active = rp.active_workers;
-          ++res.repack_count;
-          // Rebalance within the survivors right away.
-          const auto rb = rebalancer.rebalance(profile, map);
-          map = rb.map;
+          // Payoff gate for packing: the transfer stalls all `active`
+          // workers for migrate_s once, and its payoff is the GPU-time of
+          // the released workers — one bottleneck-iteration per window
+          // iteration each.  A pack that cannot amortize within the window
+          // is skipped (and retried at the next repack point, when the
+          // model may have shrunk further).
+          bool pack_pays_off = true;
+          if (cfg_.payoff_window_iters > 0.0) {
+            const auto loads = map.stage_loads(profile.time_s);
+            const double bottleneck_s =
+                *std::max_element(loads.begin(), loads.end());
+            const double freed =
+                static_cast<double>(active - rp.active_workers);
+            if (freed * bottleneck_s * cfg_.payoff_window_iters <
+                migrate_s * static_cast<double>(active)) {
+              pack_pays_off = false;
+              ++res.maps_rejected_payoff;
+              res.migration_bytes_avoided +=
+                  migration.total_bytes() * replica_mirror;
+            }
+          }
+          if (pack_pays_off) {
+            record_migration_split(migration, 1.0, res);
+            event_time += migrate_s;
+            res.overhead.migrate_s += migrate_s;
+            map = packed;
+            active = rp.active_workers;
+            ++res.repack_count;
+            rebalancer = make_rebalancer(active);
+            // Rebalance within the survivors right away (a one-off event,
+            // accounted like any other rebalance, except profiling: the
+            // polish reuses the profile already charged above).
+            const auto rb = rebalancer.rebalance(profile, map);
+            map = rb.map;
+            account_outcome(rb, 1.0, res);
+            balance::OverheadBreakdown polish = rb.overhead;
+            polish.profile_s = 0.0;
+            res.overhead += polish;
+            event_time += polish.total_s();
+          }
         }
       }
     }

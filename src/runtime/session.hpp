@@ -23,6 +23,7 @@
 
 #include "balance/rebalancer.hpp"
 #include "cluster/deployment.hpp"
+#include "cluster/hier_balancer.hpp"
 #include "cluster/topology.hpp"
 #include "comm/cost_model.hpp"
 #include "dynamic/dynamism.hpp"
@@ -79,6 +80,26 @@ struct SessionConfig {
   balance::BalanceBy balance_by = balance::BalanceBy::Time;
   /// 0 → the engine's recommended cadence.
   std::int64_t rebalance_interval = 0;
+  /// Bottleneck hysteresis: keep the current map unless a candidate
+  /// improves the capacity-normalized projected bottleneck by at least
+  /// this fraction (balance::RebalanceConfig::min_bottleneck_gain).
+  double min_bottleneck_gain = 0.02;
+  /// Payoff-window map acceptance (docs/COST_MODEL.md): a candidate
+  /// placement must recoup its exposed migration cost — priced over the
+  /// deployment's links, mirrored across all DP replicas, discounted by
+  /// `migration_overlap` at every-iteration cadences — within this many
+  /// iterations of projected bottleneck gain, or the rebalance keeps the
+  /// current map (counted in SessionResult::maps_rejected_payoff, the
+  /// avoided traffic in migration_bytes_avoided).  The same window gates
+  /// re-packing: a pack must free enough GPU-time within the window to
+  /// cover the transfer stall.  0 → bottleneck-only hysteresis (the
+  /// pre-payoff behavior).
+  double payoff_window_iters = 0.0;
+  /// Two-level balancer knobs for Algorithm::HierarchicalDiffusion.  When
+  /// its payoff fields are left at their defaults, the session fills them
+  /// in from `payoff_window_iters` (time balancing only — the hier gain is
+  /// in weight units) and multiplies the cost by `data_parallel`.
+  cluster::HierConfig hier{};
 
   bool repack = false;
   /// ThroughputPreserving — release only workers whose load fits into the
@@ -143,6 +164,19 @@ struct SessionResult {
   /// intra-node links, PpInner pushes it across the fabric.
   double intra_node_dp_bytes = 0.0;
   double inter_node_dp_bytes = 0.0;
+  /// Map-acceptance accounting: rebalance events whose candidate map was
+  /// adopted with a non-empty migration, vs. rejected by the bottleneck
+  /// hysteresis or the payoff window (re-packs the window refused count as
+  /// payoff rejections too).  `migration_bytes_avoided` is the transfer
+  /// traffic the rejections skipped, counted in *every* run — the
+  /// acceptance rule needs no topology — and mirrored across all replicas
+  /// of a grid deployment; the issued-byte counters above additionally
+  /// need a deployment for the node-boundary classification and stay 0
+  /// without one.
+  int maps_accepted = 0;
+  int maps_rejected_bottleneck = 0;
+  int maps_rejected_payoff = 0;
+  double migration_bytes_avoided = 0.0;
   balance::OverheadBreakdown overhead;       ///< DynMo's own total overhead
   double baseline_overhead_s = 0.0;          ///< e.g. Egeria's bookkeeping
   double overhead_fraction = 0.0;            ///< overhead / total time

@@ -1,0 +1,322 @@
+// Payoff-window migration acceptance (ROADMAP "Cost-aware map
+// acceptance"): a candidate map must recoup its exposed migration cost —
+// priced over the deployment's links, mirrored across DP replicas —
+// within the configured number of iterations of projected bottleneck
+// gain.  Covers the exposed-cost split, the orchestrator's accept/reject
+// decision, the hierarchical balancer's inter-node gate, and the
+// session-level byte savings at every-iteration cadences.
+#include <gtest/gtest.h>
+
+#include "balance/migration.hpp"
+#include "balance/rebalancer.hpp"
+#include "cluster/hier_balancer.hpp"
+#include "cluster/topology.hpp"
+#include "dynmo/dynmo.hpp"
+
+namespace dynmo {
+namespace {
+
+using balance::MapDecision;
+
+TEST(MigrationCost, ExposedCostSplitsByNodeMembership) {
+  comm::CostModelConfig cfg;
+  cfg.gpus_per_node = 2;  // ranks {0,1} node 0, {2,3} node 1, ...
+  const comm::CostModel net(cfg);
+  balance::MigrationPlan plan;
+  plan.transfers.push_back({0, /*src=*/0, /*dst=*/1, 100.0});
+  plan.transfers.push_back({1, /*src=*/0, /*dst=*/3, 50.0});
+
+  const auto cost = plan.exposed_cost(net);  // stage s is rank s
+  EXPECT_DOUBLE_EQ(cost.intra_node_bytes, 100.0);
+  EXPECT_DOUBLE_EQ(cost.inter_node_bytes, 50.0);
+  EXPECT_DOUBLE_EQ(cost.total_bytes(), plan.total_bytes());
+  EXPECT_GT(cost.time_s, 0.0);
+  EXPECT_DOUBLE_EQ(cost.time_s, plan.estimated_time_s(net));
+
+  // A placement that puts both endpoints of every transfer on one node
+  // turns all traffic intra.
+  const int stage_to_rank[] = {0, 1, 2, 1};
+  const auto local = plan.exposed_cost(net, stage_to_rank);
+  EXPECT_DOUBLE_EQ(local.inter_node_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(local.intra_node_bytes, 150.0);
+}
+
+/// Mildly skewed times (a rebalance improves the bottleneck well past the
+/// hysteresis bar) but heavyweight layer state: the move only pays off
+/// over many iterations.
+balance::LayerProfile heavy_state_profile() {
+  balance::LayerProfile p;
+  for (int i = 0; i < 12; ++i) {
+    p.time_s.push_back(i < 4 ? 2e-3 : 1e-3);
+    p.memory_bytes.push_back(10.0 * (1u << 30));  // 10 GiB per layer
+    p.params.push_back(50.0);
+  }
+  return p;
+}
+
+balance::RebalanceConfig payoff_cfg(double window) {
+  balance::RebalanceConfig cfg;
+  cfg.algorithm = balance::Algorithm::Partition;
+  cfg.by = balance::BalanceBy::Time;
+  cfg.payoff_window_iters = window;
+  return cfg;
+}
+
+TEST(Rebalancer, PayoffWindowRejectsExpensiveBarelyBetterMaps) {
+  const auto profile = heavy_state_profile();
+  const auto start = pipeline::StageMap::uniform(12, 4);
+
+  // Tight window: the ~ms/iter gain cannot amortize tens of ms of
+  // migration; the candidate is rejected and nothing moves.
+  balance::Rebalancer tight(payoff_cfg(1.0), comm::CostModel{});
+  const auto rejected = tight.rebalance(profile, start);
+  EXPECT_EQ(rejected.decision, MapDecision::RejectedPayoff);
+  EXPECT_EQ(rejected.map, start);
+  EXPECT_TRUE(rejected.migration.empty());
+  EXPECT_GT(rejected.candidate_bytes, 0.0);
+  EXPECT_GT(rejected.exposed_cost_s,
+            rejected.projected_gain_s * 1.0);
+  EXPECT_DOUBLE_EQ(rejected.overhead.migrate_s, 0.0);
+
+  // Generous window: the same candidate amortizes and is adopted.
+  balance::Rebalancer generous(payoff_cfg(1e6), comm::CostModel{});
+  const auto accepted = generous.rebalance(profile, start);
+  EXPECT_EQ(accepted.decision, MapDecision::Accepted);
+  EXPECT_FALSE(accepted.migration.empty());
+  EXPECT_GT(accepted.overhead.migrate_s, 0.0);
+  EXPECT_LT(accepted.imbalance_after, accepted.imbalance_before);
+
+  // Disabled window (the pre-payoff behavior) accepts it too.
+  balance::Rebalancer off(payoff_cfg(0.0), comm::CostModel{});
+  EXPECT_EQ(off.rebalance(profile, start).decision, MapDecision::Accepted);
+}
+
+TEST(Rebalancer, ReplicaMirroringMultipliesPricedCost) {
+  const auto profile = heavy_state_profile();
+  const auto start = pipeline::StageMap::uniform(12, 4);
+
+  // Find the single-replica exposed cost, then pick a window that covers
+  // it but not 8 mirrored copies of it.
+  auto cfg = payoff_cfg(1e6);
+  balance::Rebalancer probe(cfg, comm::CostModel{});
+  const auto base = probe.rebalance(profile, start);
+  ASSERT_EQ(base.decision, MapDecision::Accepted);
+  ASSERT_GT(base.projected_gain_s, 0.0);
+  const double window = 2.0 * base.exposed_cost_s / base.projected_gain_s;
+
+  cfg.payoff_window_iters = window;
+  const auto solo = balance::Rebalancer(cfg, comm::CostModel{})
+                        .rebalance(profile, start);
+  EXPECT_EQ(solo.decision, MapDecision::Accepted);
+
+  cfg.migration_cost_multiplier = 8.0;  // DP grid mirrors every move
+  const auto grid = balance::Rebalancer(cfg, comm::CostModel{})
+                        .rebalance(profile, start);
+  EXPECT_EQ(grid.decision, MapDecision::RejectedPayoff);
+  EXPECT_NEAR(grid.exposed_cost_s, 8.0 * solo.exposed_cost_s,
+              1e-9 * grid.exposed_cost_s);
+}
+
+TEST(Rebalancer, OverlapDiscountsExposedCost) {
+  const auto profile = heavy_state_profile();
+  const auto start = pipeline::StageMap::uniform(12, 4);
+  // Fully overlapped migrations cost nothing exposed: even a one-iteration
+  // window accepts.
+  auto cfg = payoff_cfg(1.0);
+  cfg.migration_exposed_fraction = 0.0;
+  const auto out =
+      balance::Rebalancer(cfg, comm::CostModel{}).rebalance(profile, start);
+  EXPECT_EQ(out.decision, MapDecision::Accepted);
+  EXPECT_DOUBLE_EQ(out.exposed_cost_s, 0.0);
+}
+
+// ------------------------------------------------- hierarchical balancer
+
+TEST(HierBalancer, PayoffWindowBlocksUnamortizedInterNodeShifts) {
+  // 2 nodes x 2 GPUs, 4 stages, node-level skew: level 2 wants to shift
+  // layers across the fabric.  Heavy layer state makes that shift cost
+  // ~seconds of InfiniBand time.
+  const auto topo = cluster::Topology::make_homogeneous(
+      2, 2, hw::GpuSpec::h100_sxm5(),
+      cluster::default_link(cluster::LinkType::NvLink),
+      cluster::default_link(cluster::LinkType::InfiniBand));
+  balance::DiffusionRequest req;
+  for (int l = 0; l < 16; ++l) {
+    req.weights.push_back(l < 8 ? 2.0 : 0.6);
+    req.memory_bytes.push_back(10.0 * (1u << 30));
+  }
+  const auto start = pipeline::StageMap::uniform(16, 4);
+
+  cluster::HierConfig cfg;
+  cfg.payoff_window_iters = 1e-3;  // gain is ~1 weight-unit/iter
+  const auto blocked =
+      cluster::HierarchicalBalancer(topo, cfg).balance(req, start);
+  EXPECT_FALSE(blocked.used_inter_node);
+  EXPECT_TRUE(blocked.inter_rejected_by_payoff);
+  EXPECT_GT(blocked.inter_exposed_cost_s, 0.0);
+  EXPECT_EQ(blocked.inter_node_moves, 0);
+
+  cfg.payoff_window_iters = 1e6;
+  const auto adopted =
+      cluster::HierarchicalBalancer(topo, cfg).balance(req, start);
+  EXPECT_TRUE(adopted.used_inter_node);
+  EXPECT_FALSE(adopted.inter_rejected_by_payoff);
+  EXPECT_GT(adopted.inter_node_moves, 0);
+  EXPECT_LT(adopted.imbalance_after, blocked.imbalance_after);
+}
+
+// ---------------------------------------------------------- session level
+
+/// MoE routing noise on a fabric-heavy deployment (8 nodes x 2 GPUs, 16
+/// stages) with every-iteration rebalancing — the regime the payoff rule
+/// exists for: most candidate maps are barely better than the current one
+/// yet move multi-GiB expert layers.
+Options moe_fabric_options() {
+  Options opt;
+  opt.session.pipeline_stages = 16;
+  opt.session.num_microbatches = 32;
+  opt.session.iterations = 300;
+  opt.session.sim_stride = 10;
+  opt.session.rebalance_interval = 1;
+  opt.moe.tokens_per_microbatch = 512;
+  opt.session.mode = runtime::BalancingMode::DynMo;
+  opt.session.algorithm = balance::Algorithm::Diffusion;
+  // A bottleneck-only bar routing swings easily clear — the failure mode
+  // the payoff window fixes: a 1%-better map moving tens of GiB passes
+  // any pure-bottleneck hysteresis.
+  opt.session.min_bottleneck_gain = 0.005;
+  opt.session.deployment = cluster::Deployment::make_topology_aware(
+      cluster::Topology::make_homogeneous(
+          8, 2, hw::GpuSpec::h100_sxm5(),
+          cluster::default_link(cluster::LinkType::NvLink),
+          cluster::default_link(cluster::LinkType::InfiniBand)),
+      16);
+  return opt;
+}
+
+runtime::SessionResult run_moe(const Options& opt) {
+  Session s(model::make_moe(model::llama_moe_3_5b_config(), "m"),
+            UseCase::Moe, opt);
+  return s.run();
+}
+
+// The acceptance-criterion test: at an every-iteration cadence, the
+// payoff window issues strictly fewer migration bytes than bottleneck-only
+// hysteresis at equal-or-better simulated throughput.
+TEST(SessionPayoff, EveryIterationCadenceMovesFewerBytesAtSameThroughput) {
+  auto opt = moe_fabric_options();
+  const auto baseline = run_moe(opt);  // payoff_window_iters = 0
+
+  // ~10 iterations of projected gain must cover the exposed transfer cost:
+  // the structural rebalance (big persistent gain) passes, the marginal
+  // noise-chasing ones (small gain, tens of GiB of expert state) do not.
+  opt.session.payoff_window_iters = 10.0;
+  const auto payoff = run_moe(opt);
+
+  ASSERT_GT(baseline.rebalance_count, 0);
+  EXPECT_GT(payoff.maps_rejected_payoff, 0);
+  EXPECT_GT(payoff.migration_bytes_avoided, 0.0);
+  EXPECT_EQ(baseline.maps_rejected_payoff, 0);
+
+  const double baseline_bytes = baseline.intra_node_migration_bytes +
+                                baseline.inter_node_migration_bytes;
+  const double payoff_bytes = payoff.intra_node_migration_bytes +
+                              payoff.inter_node_migration_bytes;
+  EXPECT_GT(baseline_bytes, 0.0);
+  EXPECT_LT(payoff_bytes, baseline_bytes);
+
+  // Equal-or-better throughput: the skipped migrations were not buying
+  // bottleneck improvements worth their exposed cost.  (Tiny slack only
+  // for the wall-clock decide_s the session measures.)
+  EXPECT_GE(payoff.tokens_per_sec, 0.999 * baseline.tokens_per_sec);
+}
+
+TEST(SessionPayoff, GridDeploymentMirrorsAvoidedBytesAcrossReplicas) {
+  // Same pipeline mirrored over 2 replicas: every rejected candidate's
+  // avoided traffic doubles, exactly like the issued-byte counters.
+  const int dp = 2, pp = 8;
+  Options opt;
+  opt.session.pipeline_stages = pp;
+  opt.session.data_parallel = dp;
+  opt.session.num_microbatches = 32;
+  opt.session.iterations = 300;
+  opt.session.sim_stride = 10;
+  opt.session.rebalance_interval = 1;
+  opt.moe.tokens_per_microbatch = 512;
+  opt.session.mode = runtime::BalancingMode::DynMo;
+  opt.session.algorithm = balance::Algorithm::Diffusion;
+  opt.session.payoff_window_iters = 25.0;
+  opt.session.deployment = cluster::Deployment::make_grid_topology_aware(
+      cluster::Topology::make_homogeneous(
+          8, 2, hw::GpuSpec::h100_sxm5(),
+          cluster::default_link(cluster::LinkType::NvLink),
+          cluster::default_link(cluster::LinkType::InfiniBand)),
+      dp, pp, cluster::GridOrientation::PpInner);
+
+  const auto r = run_moe(opt);
+  EXPECT_GT(r.maps_rejected_payoff, 0);
+  EXPECT_GT(r.migration_bytes_avoided, 0.0);
+}
+
+// Regression: a deployment session whose re-pack shrinks the pipeline
+// must keep rebalancing with per-stage vectors (capacities,
+// stage_to_rank) truncated to the survivors — the stale full-size
+// vectors used to abort the diffusion balancer's size checks.
+TEST(SessionPayoff, DeploymentRepackShrinksPerStageVectors) {
+  const auto m = model::make_gpt({.num_blocks = 24,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  Options opt;
+  opt.session.pipeline_stages = 16;
+  opt.session.num_microbatches = 32;
+  opt.session.iterations = 6000;
+  opt.session.sim_stride = 50;
+  opt.session.rebalance_interval = 100;
+  opt.session.mode = runtime::BalancingMode::DynMo;
+  opt.session.algorithm = balance::Algorithm::Diffusion;
+  opt.session.repack = true;
+  opt.session.repack_interval = 500;
+  opt.session.deployment = cluster::Deployment::make_topology_aware(
+      cluster::Topology::make_homogeneous(
+          8, 2, hw::GpuSpec::h100_sxm5(),
+          cluster::default_link(cluster::LinkType::NvLink),
+          cluster::default_link(cluster::LinkType::InfiniBand)),
+      16);
+  Session s(m, UseCase::EarlyExit, opt);
+  const auto r = s.run();  // used to DYNMO_CHECK-abort after the 1st pack
+  EXPECT_GT(r.repack_count, 0);
+  EXPECT_LT(r.final_map.num_stages(), 16);
+  EXPECT_GT(r.tokens_per_sec, 0.0);
+}
+
+TEST(SessionPayoff, RepackSkippedWhenWindowCannotAmortize) {
+  const auto m = model::make_gpt({.num_blocks = 24,
+                                  .include_embedding = false,
+                                  .include_lm_head = false});
+  Options opt;
+  opt.session.pipeline_stages = 16;
+  opt.session.data_parallel = 2;
+  opt.session.micro_batch = 2;
+  opt.session.num_microbatches = 32;
+  opt.session.iterations = 6000;
+  opt.session.sim_stride = 50;
+  opt.session.rebalance_interval = 100;
+  opt.session.mode = runtime::BalancingMode::DynMo;
+  opt.session.repack = true;
+  opt.session.repack_interval = 500;
+
+  Session plain(m, UseCase::EarlyExit, opt);
+  const auto packs = plain.run();
+  ASSERT_GT(packs.repack_count, 0);
+
+  // A sub-iteration window can never amortize a multi-GiB pack.
+  auto tight = opt;
+  tight.session.payoff_window_iters = 1e-3;
+  Session gated(m, UseCase::EarlyExit, tight);
+  const auto blocked = gated.run();
+  EXPECT_EQ(blocked.repack_count, 0);
+  EXPECT_GT(blocked.maps_rejected_payoff, 0);
+}
+
+}  // namespace
+}  // namespace dynmo

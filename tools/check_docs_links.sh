@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Docs hygiene check (run by CI):
+#   1. every docs/*.md is referenced from README.md — the docs tree stays
+#      discoverable from the front page;
+#   2. every relative markdown link in README.md and docs/*.md resolves to
+#      an existing file (links are resolved relative to the file that
+#      contains them; http(s) URLs and pure #anchors are skipped).
+# Exits non-zero listing every violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+fail=0
+
+for f in docs/*.md; do
+  if ! grep -qF "$f" README.md; then
+    echo "docs file not referenced from README.md: $f"
+    fail=1
+  fi
+done
+
+for src in README.md docs/*.md; do
+  dir=$(dirname "$src")
+  while IFS= read -r link; do
+    [ -n "$link" ] || continue
+    case "$link" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    target=${link%%#*}
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "dead link in $src: ($link)"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$src" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+exit $fail
