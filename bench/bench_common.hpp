@@ -64,6 +64,12 @@ inline runtime::SessionConfig gpt_cluster_config_deep_stages() {
 struct Row {
   std::string label;
   runtime::SessionResult result;
+  /// Extra per-row numeric fields the JsonRecorder emits verbatim (after
+  /// the uniform columns) — bench_elastic records its lifecycle counters
+  /// this way.  Values are rounded to 4 significant digits like the
+  /// throughputs; keep wall-clock-dominated quantities out (see
+  /// docs/BENCHMARKS.md).
+  std::vector<std::pair<std::string, double>> extra = {};
 };
 
 inline void print_table(const std::string& title,
@@ -127,10 +133,13 @@ class JsonRecorder {
             f,
             "      {\"series\": \"%s\", \"tokens_per_sec\": %.4g, "
             "\"idleness\": %.4g, \"bubble_ratio\": %.4g, "
-            "\"speedup\": %.3g}%s\n",
+            "\"speedup\": %.3g",
             cs.rows[r].label.c_str(), res.tokens_per_sec, res.avg_idleness,
-            res.avg_bubble_ratio, res.tokens_per_sec / cs.baseline,
-            r + 1 < cs.rows.size() ? "," : "");
+            res.avg_bubble_ratio, res.tokens_per_sec / cs.baseline);
+        for (const auto& [key, value] : cs.rows[r].extra) {
+          std::fprintf(f, ", \"%s\": %.4g", key.c_str(), value);
+        }
+        std::fprintf(f, "}%s\n", r + 1 < cs.rows.size() ? "," : "");
       }
       std::fprintf(f, "    ]}%s\n", c + 1 < cases_.size() ? "," : "");
     }

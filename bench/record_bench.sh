@@ -5,6 +5,7 @@
 #   bench/BENCH_topology_balance.json  (balancer sweep + grid orientations)
 #   bench/BENCH_fig4_repack.json       (forced + automatic re-packing)
 #   bench/BENCH_payoff_window.json     (payoff acceptance vs. cadence)
+#   bench/BENCH_elastic.json           (elastic shrink/expand thresholds)
 #   bench/BENCH_fig3_<use_case>.json   (the six Figure-3 panels)
 # with the current aggregates.  All bench arithmetic is deterministic
 # (fixed seeds, analytic cost models) and throughputs are rounded past the
@@ -22,6 +23,7 @@ BENCHES=(
   topology_balance
   fig4_repack
   payoff_window
+  elastic
   fig3_early_exit
   fig3_freezing
   fig3_mod

@@ -102,6 +102,20 @@ Deployment Deployment::replica(int dp) const {
   return Deployment(topo_, 1, std::vector<int>(view.begin(), view.end()));
 }
 
+Deployment Deployment::prefix(int num_stages) const {
+  DYNMO_CHECK(num_stages > 0 && num_stages <= pp_,
+              "prefix of " << num_stages << " stages from a " << pp_
+                           << "-stage deployment");
+  std::vector<int> grid;
+  grid.reserve(static_cast<std::size_t>(dp_ * num_stages));
+  for (int d = 0; d < dp_; ++d) {
+    const auto view = stage_to_rank(d);
+    grid.insert(grid.end(), view.begin(),
+                view.begin() + static_cast<std::ptrdiff_t>(num_stages));
+  }
+  return Deployment(topo_, dp_, std::move(grid));
+}
+
 const hw::GpuSpec& Deployment::gpu(int stage) const {
   return topo_->gpu(rank(stage));
 }

@@ -88,6 +88,14 @@ class Deployment {
   /// Replica dp as its own single-pipeline Deployment (shares the
   /// topology) — the view to hand pre-grid consumers for replicas > 0.
   Deployment replica(int dp) const;
+  /// The leading `num_stages` stages of every replica as their own
+  /// Deployment (shares the topology).  This is the deployment of the
+  /// surviving/acquired ranks across an elastic shrink or expand: packing
+  /// releases *trailing* stages and expansion reclaims them, so the ranks
+  /// the job owns at any worker count are exactly a prefix of the current
+  /// placement.  (Re-placing from scratch would be wrong — a released rank
+  /// may have been handed to another job.)  See docs/RUNTIME.md.
+  Deployment prefix(int num_stages) const;
 
   /// The GPU hosting a stage (dp = 0 view) / a grid cell.
   const hw::GpuSpec& gpu(int stage) const;

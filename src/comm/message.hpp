@@ -92,7 +92,9 @@ class Unpacker {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> get_vector() {
     const auto n = get<std::uint64_t>();
-    DYNMO_CHECK(pos_ + n * sizeof(T) <= buf_.size(), "unpack overrun");
+    // Divide instead of multiplying: a corrupted length near 2^64/sizeof(T)
+    // must overrun, not wrap around and pass the bounds check.
+    DYNMO_CHECK(n <= (buf_.size() - pos_) / sizeof(T), "unpack overrun");
     std::vector<T> out(n);
     std::memcpy(out.data(), buf_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
@@ -100,6 +102,10 @@ class Unpacker {
   }
 
   bool exhausted() const { return pos_ == buf_.size(); }
+  /// Current read offset — consumers that wrap a structured stream (e.g.
+  /// the checkpoint reader) use it to report *where* a parse failed.
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
 
  private:
   std::span<const std::byte> buf_;

@@ -56,8 +56,11 @@ class JobManagerClient {
   JobManagerClient(MockEckCluster* cluster, std::string pod_name,
                    int initial_gpus);
 
-  /// Shrink this pod's GPU claim to `gpus`; released GPUs go back to the
-  /// cluster queue.  Returns false if the API server rejected the PATCH.
+  /// Resize this pod's GPU claim to `gpus`, in either direction: released
+  /// GPUs go back to the cluster queue, a grow claims from it (the API
+  /// server rejects a PATCH past what is free — another pending job may
+  /// have scheduled onto the capacity first).  Returns false if the PATCH
+  /// was rejected.
   bool resize_gpu_claim(int gpus);
 
   int claimed_gpus() const { return claimed_; }

@@ -30,6 +30,10 @@ void pack_layer_state(comm::Packer& p, const model::LayerState& s) {
   p.put(static_cast<std::uint8_t>(s.spmm_backend));
 }
 
+/// Wire size of one packed LayerState (pack_layer_state above): five f64
+/// fields plus the two u8 flags.
+constexpr std::size_t kPackedLayerStateBytes = 5 * sizeof(double) + 2;
+
 model::LayerState unpack_layer_state(comm::Unpacker& u) {
   model::LayerState s;
   s.weight_density = u.get<double>();
@@ -42,26 +46,77 @@ model::LayerState unpack_layer_state(comm::Unpacker& u) {
   return s;
 }
 
+/// Frame one field: [u16 tag][u64 size][payload bytes].
+void put_field(comm::Packer& p, CheckpointField tag, comm::Packer payload) {
+  p.put(static_cast<std::uint16_t>(tag));
+  const auto bytes = payload.take();
+  p.put_span(std::span<const std::byte>(bytes));
+}
+
+/// Parse one field payload, converting any structural failure (overrun,
+/// shape mismatch) into an error that names the field and the offset —
+/// `field_off` is where the field's frame starts in the whole stream,
+/// `u.pos()` how far into the payload the parse got.
+template <typename Fn>
+void parse_field(CheckpointField tag, std::size_t field_off,
+                 std::span<const std::byte> payload, Fn&& fn) {
+  comm::Unpacker u(payload);
+  try {
+    fn(u);
+    DYNMO_CHECK(u.exhausted(), "field has " << u.remaining()
+                                            << " trailing bytes");
+  } catch (const Error& e) {
+    throw Error(std::string("checkpoint field '") + to_string(tag) +
+                "' invalid at stream offset " + std::to_string(field_off) +
+                " (+" + std::to_string(u.pos()) +
+                " into the field): " + e.what());
+  }
+}
+
 }  // namespace
+
+const char* to_string(CheckpointField f) {
+  switch (f) {
+    case CheckpointField::Iteration: return "iteration";
+    case CheckpointField::StageMap: return "stage_map";
+    case CheckpointField::LayerStates: return "layer_states";
+    case CheckpointField::Weights: return "weights";
+  }
+  return "?";
+}
 
 std::vector<std::byte> Checkpoint::serialize() const {
   comm::Packer p;
   p.put(kMagic);
   p.put(kVersion);
-  p.put(iteration);
 
-  const auto& b = stage_map.boundaries();
-  p.put_vector(std::vector<std::uint64_t>(b.begin(), b.end()));
-
-  p.put<std::uint64_t>(layer_states.size());
-  for (const auto& s : layer_states) pack_layer_state(p, s);
-
-  p.put<std::uint64_t>(weights.size());
-  for (const auto& [layer, w] : weights) {
-    p.put(layer);
-    p.put<std::uint64_t>(w.rows());
-    p.put<std::uint64_t>(w.cols());
-    p.put_span(w.data());
+  {
+    comm::Packer f;
+    f.put(iteration);
+    put_field(p, CheckpointField::Iteration, std::move(f));
+  }
+  {
+    comm::Packer f;
+    const auto& b = stage_map.boundaries();
+    f.put_vector(std::vector<std::uint64_t>(b.begin(), b.end()));
+    put_field(p, CheckpointField::StageMap, std::move(f));
+  }
+  {
+    comm::Packer f;
+    f.put<std::uint64_t>(layer_states.size());
+    for (const auto& s : layer_states) pack_layer_state(f, s);
+    put_field(p, CheckpointField::LayerStates, std::move(f));
+  }
+  {
+    comm::Packer f;
+    f.put<std::uint64_t>(weights.size());
+    for (const auto& [layer, w] : weights) {
+      f.put(layer);
+      f.put<std::uint64_t>(w.rows());
+      f.put<std::uint64_t>(w.cols());
+      f.put_span(w.data());
+    }
+    put_field(p, CheckpointField::Weights, std::move(f));
   }
 
   auto body = p.take();
@@ -74,44 +129,122 @@ std::vector<std::byte> Checkpoint::serialize() const {
 }
 
 Checkpoint Checkpoint::deserialize(std::span<const std::byte> bytes) {
-  DYNMO_CHECK(bytes.size() > sizeof(std::uint64_t),
-              "checkpoint truncated: " << bytes.size() << " bytes");
+  // Header (magic+version) + checksum trailer is the minimum stream.
+  constexpr std::size_t kMinBytes = 2 * sizeof(std::uint32_t) +
+                                    sizeof(std::uint64_t);
+  DYNMO_CHECK(bytes.size() >= kMinBytes,
+              "checkpoint truncated: " << bytes.size() << " bytes, header + "
+              << "checksum need " << kMinBytes);
   const auto body = bytes.first(bytes.size() - sizeof(std::uint64_t));
+
+  // Structure first, integrity second: a truncated stream then fails with
+  // the *field* it died in, and only structurally-sound streams reach the
+  // checksum comparison (which then indicts bit corruption specifically).
+  comm::Unpacker u(body);
+  const auto magic = u.get<std::uint32_t>();
+  DYNMO_CHECK(magic == kMagic,
+              "not a DynMo checkpoint (magic 0x" << std::hex << magic
+                                                 << ", want 0x" << kMagic
+                                                 << ")");
+  const auto version = u.get<std::uint32_t>();
+  DYNMO_CHECK(version == kVersion, "unsupported checkpoint version "
+                                       << version << " (this build reads "
+                                       << kVersion << ")");
+
+  Checkpoint ckpt;
+  while (!u.exhausted()) {
+    const std::size_t field_off = u.pos();
+    std::uint16_t raw_tag = 0;
+    std::vector<std::byte> payload;
+    try {
+      raw_tag = u.get<std::uint16_t>();
+      payload = u.get_vector<std::byte>();
+    } catch (const Error&) {
+      throw Error("checkpoint field frame truncated at stream offset " +
+                  std::to_string(field_off) + " (" +
+                  std::to_string(body.size() - field_off) +
+                  " bytes left of a " + std::to_string(body.size()) +
+                  "-byte body)");
+    }
+    switch (static_cast<CheckpointField>(raw_tag)) {
+      case CheckpointField::Iteration:
+        parse_field(CheckpointField::Iteration, field_off, payload,
+                    [&](comm::Unpacker& f) {
+                      ckpt.iteration = f.get<std::int64_t>();
+                    });
+        break;
+      case CheckpointField::StageMap:
+        parse_field(CheckpointField::StageMap, field_off, payload,
+                    [&](comm::Unpacker& f) {
+                      const auto b64 = f.get_vector<std::uint64_t>();
+                      ckpt.stage_map = pipeline::StageMap::from_boundaries(
+                          std::vector<std::size_t>(b64.begin(), b64.end()));
+                    });
+        break;
+      case CheckpointField::LayerStates:
+        parse_field(CheckpointField::LayerStates, field_off, payload,
+                    [&](comm::Unpacker& f) {
+                      const auto n = f.get<std::uint64_t>();
+                      // Bound the count by the payload *before* reserve():
+                      // a corrupted count must surface as this Error, not
+                      // as a std::length_error / huge allocation.
+                      DYNMO_CHECK(
+                          n <= f.remaining() / kPackedLayerStateBytes,
+                          "state count " << n << " exceeds the "
+                                         << f.remaining()
+                                         << " payload bytes left");
+                      ckpt.layer_states.clear();
+                      ckpt.layer_states.reserve(n);
+                      for (std::uint64_t i = 0; i < n; ++i) {
+                        ckpt.layer_states.push_back(unpack_layer_state(f));
+                      }
+                    });
+        break;
+      case CheckpointField::Weights:
+        parse_field(CheckpointField::Weights, field_off, payload,
+                    [&](comm::Unpacker& f) {
+                      const auto n = f.get<std::uint64_t>();
+                      for (std::uint64_t i = 0; i < n; ++i) {
+                        const auto layer = f.get<std::uint64_t>();
+                        const auto rows = f.get<std::uint64_t>();
+                        const auto cols = f.get<std::uint64_t>();
+                        const auto data = f.get_vector<float>();
+                        // Divide instead of multiplying rows * cols: a
+                        // corrupted shape whose product wraps past 2^64
+                        // must fail here, not reach the Tensor allocator.
+                        const bool shape_ok =
+                            (rows == 0 || cols == 0)
+                                ? data.empty()
+                                : data.size() / rows == cols &&
+                                      data.size() % rows == 0;
+                        DYNMO_CHECK(shape_ok,
+                                    "layer " << layer << " weight shape "
+                                             << rows << "x" << cols
+                                             << " != " << data.size()
+                                             << " floats");
+                        tensor::Tensor t(rows, cols);
+                        std::copy(data.begin(), data.end(),
+                                  t.data().begin());
+                        ckpt.weights.insert_or_assign(layer, std::move(t));
+                      }
+                    });
+        break;
+      default:
+        // Unknown tag within a known version: a future writer added a
+        // field.  The frame carries its size, so skip it (the checksum
+        // still covers it).
+        break;
+    }
+  }
+
   {
     comm::Unpacker tail(bytes.subspan(body.size()));
     const auto stored = tail.get<std::uint64_t>();
-    DYNMO_CHECK(stored == buffer_checksum(body),
-                "checkpoint integrity checksum mismatch");
-  }
-
-  comm::Unpacker u(body);
-  DYNMO_CHECK(u.get<std::uint32_t>() == kMagic, "not a DynMo checkpoint");
-  const auto version = u.get<std::uint32_t>();
-  DYNMO_CHECK(version == kVersion,
-              "unsupported checkpoint version " << version);
-
-  Checkpoint ckpt;
-  ckpt.iteration = u.get<std::int64_t>();
-  const auto b64 = u.get_vector<std::uint64_t>();
-  ckpt.stage_map = pipeline::StageMap::from_boundaries(
-      std::vector<std::size_t>(b64.begin(), b64.end()));
-
-  const auto n_states = u.get<std::uint64_t>();
-  ckpt.layer_states.reserve(n_states);
-  for (std::uint64_t i = 0; i < n_states; ++i) {
-    ckpt.layer_states.push_back(unpack_layer_state(u));
-  }
-
-  const auto n_weights = u.get<std::uint64_t>();
-  for (std::uint64_t i = 0; i < n_weights; ++i) {
-    const auto layer = u.get<std::uint64_t>();
-    const auto rows = u.get<std::uint64_t>();
-    const auto cols = u.get<std::uint64_t>();
-    const auto data = u.get_vector<float>();
-    DYNMO_CHECK(data.size() == rows * cols, "weight shape mismatch");
-    tensor::Tensor t(rows, cols);
-    std::copy(data.begin(), data.end(), t.data().begin());
-    ckpt.weights.emplace(layer, std::move(t));
+    const auto computed = buffer_checksum(body);
+    DYNMO_CHECK(stored == computed,
+                "checkpoint integrity checksum mismatch (stored 0x"
+                    << std::hex << stored << ", computed 0x" << computed
+                    << "): bit corruption in a structurally valid stream");
   }
   return ckpt;
 }

@@ -10,7 +10,11 @@
 // A Checkpoint captures everything needed to resume training on a
 // *different* worker count: iteration, stage map, per-layer dynamic state,
 // and (for the threaded runtime) the layer weights.  The binary format is
-// a tagged, versioned stream with a trailing integrity checksum.
+// a tagged, versioned stream with a trailing integrity checksum; the full
+// byte layout is documented in docs/RUNTIME.md.  Every field is framed as
+// [u16 tag][u64 size][payload], so deserialize() can both name the field a
+// truncated/corrupt stream died in and skip fields it does not know
+// (forward compatibility within a version).
 #pragma once
 
 #include <cstdint>
@@ -25,9 +29,21 @@
 
 namespace dynmo::runtime {
 
+/// Field tags of the checkpoint stream (docs/RUNTIME.md byte-layout table).
+enum class CheckpointField : std::uint16_t {
+  Iteration = 1,
+  StageMap = 2,
+  LayerStates = 3,
+  Weights = 4,
+};
+
+const char* to_string(CheckpointField f);
+
 struct Checkpoint {
   static constexpr std::uint32_t kMagic = 0x44594e4d;  // "DYNM"
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2: tagged [tag][size][payload] field framing (v1 was positional and
+  /// is rejected — its streams carry no field boundaries to validate).
+  static constexpr std::uint32_t kVersion = 2;
 
   std::int64_t iteration = 0;
   pipeline::StageMap stage_map;
@@ -38,7 +54,11 @@ struct Checkpoint {
   /// Serialize to a byte buffer (stable across platforms of equal
   /// endianness; includes an integrity checksum).
   std::vector<std::byte> serialize() const;
-  /// Parse; throws dynmo::Error on corruption / version mismatch.
+  /// Parse; throws dynmo::Error on corruption / version mismatch.  Error
+  /// messages are specific (docs/RUNTIME.md "Failure reporting"): a
+  /// structural failure names the field and the byte offset it occurred
+  /// at; a stream that parses structurally but fails the integrity check
+  /// reports both checksum values.
   static Checkpoint deserialize(std::span<const std::byte> bytes);
 
   /// Convenience file I/O.
@@ -51,7 +71,9 @@ struct Checkpoint {
 /// Re-shard a checkpoint's stage map for a new worker count during restart
 /// (the "reloaded and resharded" path): layers are re-partitioned by the
 /// given per-layer weights onto `new_workers` stages.  The checkpoint's
-/// dynamic layer states and weights are preserved untouched.
+/// dynamic layer states and weights are preserved untouched.  Both shrink
+/// (new_workers < current) and expand (new_workers > current) restarts go
+/// through here — see runtime::ElasticController for the decision side.
 Checkpoint reshard_for_restart(Checkpoint ckpt, int new_workers,
                                std::span<const double> balance_weights);
 

@@ -9,6 +9,7 @@
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "dynamic/freezing.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace dynmo::runtime {
 
@@ -100,6 +101,33 @@ TrainingSession::TrainingSession(const model::ModelDesc& model,
   DYNMO_CHECK(static_cast<std::size_t>(cfg.pipeline_stages) <=
                   model.num_layers(),
               "more stages than layers");
+  DYNMO_CHECK(!(cfg.repack && cfg.elastic.enabled),
+              "repack and elastic are mutually exclusive (elastic subsumes "
+              "re-packing and adds the expand path)");
+  DYNMO_CHECK(!cfg.elastic.enabled || cfg.mode == BalancingMode::DynMo,
+              "elastic decisions consume the rebalance-point profile and "
+              "need mode == DynMo");
+  DYNMO_CHECK(cfg.elastic.max_workers == 0 ||
+                  cfg.elastic.max_workers == cfg.pipeline_stages,
+              "the session's cost surfaces are sized to pipeline_stages; "
+              "elastic.max_workers must stay 0 (or equal)");
+  if (cfg.elastic.enabled) {
+    // The elastic step consumes the rebalance-point profile, so its
+    // cadence must land on simulated rebalance points — otherwise the
+    // controller would silently never (or rarely) fire.
+    const std::int64_t cadence = effective_rebalance_interval();
+    DYNMO_CHECK(cadence > 0,
+                "elastic needs a rebalance cadence (set rebalance_interval "
+                "or use an engine with a recommended one)");
+    DYNMO_CHECK(cfg.elastic.interval > 0 &&
+                    cfg.elastic.interval % cadence == 0 &&
+                    cfg.elastic.interval % cfg.sim_stride == 0,
+                "elastic.interval " << cfg.elastic.interval
+                                    << " must be a positive multiple of the "
+                                    << "rebalance interval (" << cadence
+                                    << ") and sim_stride ("
+                                    << cfg.sim_stride << ")");
+  }
   if (cfg_.data_parallel > 1) {
     const bool grid = deployment_ && deployment_->data_parallel() > 1;
     dp_groups_.reserve(static_cast<std::size_t>(cfg_.pipeline_stages));
@@ -342,6 +370,26 @@ SessionResult TrainingSession::run() {
     }
   };
 
+  // Elastic lifecycle: the controller decides shrink / hold / expand at
+  // re-pack points; the session executes transitions as checkpoint-
+  // coordinated restarts (docs/RUNTIME.md "Elastic lifecycle").  The
+  // communicator bootstrap of the post-restart group is priced over the
+  // surviving/acquired ranks' deployment — a prefix of the placement, since
+  // packing releases trailing stages and expansion reclaims them.
+  std::optional<ElasticController> elastic;
+  if (cfg_.elastic.enabled) {
+    ElasticConfig ec = cfg_.elastic;
+    if (ec.payoff_window_iters <= 0.0) {
+      ec.payoff_window_iters = cfg_.payoff_window_iters;
+    }
+    elastic.emplace(ec, S0, [this](int workers) {
+      if (deployment_) {
+        return deployment_->prefix(workers).stage_group().inter;
+      }
+      return net_.params(comm::LinkTier::InfiniBand);
+    });
+  }
+
   Rng noise_rng(hash_mix(cfg_.seed, 0x7e55));
 
   SessionResult res;
@@ -510,6 +558,66 @@ SessionResult TrainingSession::run() {
           }
         }
       }
+
+      // --- elastic lifecycle: shrink / hold / expand ---------------------
+      if (elastic && iter > 0 && iter % cfg_.elastic.interval == 0) {
+        // The restart stall is wall-clock seconds, so the gain side of the
+        // payoff inequality must be per-*iteration* seconds: a stage
+        // processes every microbatch, while profile.time_s is the
+        // balancers' per-microbatch currency.
+        std::vector<double> iter_layer_s(profile.time_s);
+        for (double& x : iter_layer_s) {
+          x *= static_cast<double>(cfg_.num_microbatches);
+        }
+        const auto d =
+            elastic->decide(map, iter_layer_s, mem, mem_capacity, active);
+        if (d.rejected_by_payoff) {
+          // A transition was wanted but its restart stall does not
+          // amortize within the payoff window — same ledger as rejected
+          // migrations (no bytes though: restarts move none).
+          ++res.maps_rejected_payoff;
+        } else if (d.action != ElasticAction::Hold && elastic->commit(d)) {
+          // Checkpoint-coordinated restart (docs/RUNTIME.md): serialize
+          // the training state through the real binary format, re-pack
+          // the stage map onto the new worker count, and resume from the
+          // restored checkpoint.  Weights arrive via checkpoint reload,
+          // so no migration bytes are issued; the whole transition is
+          // charged as the modeled restart stall instead.
+          Checkpoint ckpt;
+          ckpt.iteration = iter;
+          ckpt.stage_map = map;
+          ckpt.layer_states.assign(states.begin(), states.end());
+          auto restored = Checkpoint::deserialize(ckpt.serialize());
+          repack::ContiguousRepackRequest rreq;
+          rreq.memory_bytes = mem;
+          rreq.mem_capacity = mem_capacity;
+          rreq.target_workers = d.target_workers;
+          const auto rp = repack::repack_contiguous(rreq, d.target_workers);
+          DYNMO_CHECK(rp.feasible,
+                      "controller committed a memory-infeasible target");
+          map = rp.map;
+          states = std::move(restored.layer_states);
+          active = d.target_workers;
+          event_time += d.restart_stall_s;
+          res.restart_stall_s += d.restart_stall_s;
+          if (d.action == ElasticAction::Expand) {
+            ++res.expands;
+          } else {
+            ++res.shrinks;
+          }
+          // Resharding "comes for free" on reload (§3.4.2), but the pack
+          // above is memory-driven; polish with a time rebalance over the
+          // new worker count, accounted like the post-pack polish.
+          rebalancer = make_rebalancer(active);
+          const auto rb = rebalancer.rebalance(profile, map);
+          map = rb.map;
+          account_outcome(rb, 1.0, res);
+          balance::OverheadBreakdown polish = rb.overhead;
+          polish.profile_s = 0.0;
+          res.overhead += polish;
+          event_time += polish.total_s();
+        }
+      }
     }
 
     // --- execute one iteration on the (possibly rebalanced) map ----------
@@ -548,8 +656,14 @@ SessionResult TrainingSession::run() {
     }
 
     // --- bookkeeping ------------------------------------------------------
-    res.total_time_s +=
+    const double step_s =
         iter_time * static_cast<double>(cfg_.sim_stride) + event_time;
+    res.total_time_s += step_s;
+    // GPU-hours the release gave back (elastic or plain re-pack): every
+    // DP replica frees the same (S0 - active) workers for this step.
+    res.gpu_hours_saved += static_cast<double>(S0 - active) *
+                           static_cast<double>(cfg_.data_parallel) * step_s /
+                           3600.0;
     idleness_stats.add(pipe.avg_idleness());
     bubble_stats.add(pipe.bubble_ratio());
     workers_stats.add(static_cast<double>(active));

@@ -33,6 +33,7 @@
 #include "pipeline/schedule.hpp"
 #include "pipeline/stage_map.hpp"
 #include "repack/repack.hpp"
+#include "runtime/elastic.hpp"
 
 namespace dynmo::runtime {
 
@@ -114,6 +115,21 @@ struct SessionConfig {
   int repack_target_workers = 0;
   std::int64_t repack_interval = 1000;
 
+  /// Elastic lifecycle (docs/RUNTIME.md): with `elastic.enabled`, a
+  /// runtime::ElasticController decides shrink / hold / expand against the
+  /// (mock) ECK control plane at every `elastic.interval` that lands on a
+  /// rebalance point, and the session executes the transition as a
+  /// checkpoint-coordinated restart — serialize a Checkpoint, re-pack /
+  /// reshard the stage map onto the new worker count, charge the modeled
+  /// restart stall (checkpoint write + communicator re-creation + shard
+  /// reload, docs/COST_MODEL.md "Restart-stall pricing"), and resume.
+  /// Unlike `repack`, the footprint can also *grow* back when freed
+  /// capacity reappears and the projected bottleneck gain passes the
+  /// migration payoff rule.  Mutually exclusive with `repack` (the elastic
+  /// path subsumes it); `elastic.payoff_window_iters <= 0` inherits
+  /// `payoff_window_iters`.
+  ElasticConfig elastic{};
+
   std::int64_t iterations = 1000;
   /// Simulate every `sim_stride`-th iteration and extrapolate (the paper's
   /// 10k-iteration runs are steady-state; stride must divide the dynamism
@@ -177,6 +193,17 @@ struct SessionResult {
   int maps_rejected_bottleneck = 0;
   int maps_rejected_payoff = 0;
   double migration_bytes_avoided = 0.0;
+  /// Elastic lifecycle accounting (SessionConfig::elastic).  Restarts move
+  /// no migration bytes — weights arrive via checkpoint reload — so their
+  /// cost shows up here as stall seconds, not in the byte counters; payoff
+  /// rejections of wanted transitions count in maps_rejected_payoff.
+  int expands = 0;
+  int shrinks = 0;
+  double restart_stall_s = 0.0;       ///< total stall charged to the clock
+  /// GPU-hours not spent versus never shrinking, over all DP replicas:
+  /// Σ (initial_workers − active) · dp · dt.  Accumulated for elastic *and*
+  /// plain re-pack runs.
+  double gpu_hours_saved = 0.0;
   balance::OverheadBreakdown overhead;       ///< DynMo's own total overhead
   double baseline_overhead_s = 0.0;          ///< e.g. Egeria's bookkeeping
   double overhead_fraction = 0.0;            ///< overhead / total time

@@ -7,6 +7,7 @@
 #include "core/error.hpp"
 #include "core/rng.hpp"
 #include "dynamic/distributed_pruning.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace dynmo::runtime {
 
@@ -15,6 +16,7 @@ namespace {
 constexpr comm::Tag kActFwdTag = comm::kFirstUserTag + 1;
 constexpr comm::Tag kActBwdTag = comm::kFirstUserTag + 2;
 constexpr comm::Tag kStatsTag = comm::kFirstUserTag + 3;
+constexpr comm::Tag kCkptGatherTag = comm::kFirstUserTag + 4;
 /// Migration tags live in their own positive band so a slow sender can
 /// never alias a later phase's prune/collective traffic.
 constexpr comm::Tag kMigrationBase = comm::kFirstUserTag + 100;
@@ -73,6 +75,8 @@ struct WorkerStats {
   std::uint64_t output_checksum = 0;
   std::uint64_t bytes_migrated = 0;
   int iterations_run = 0;
+  std::uint64_t bytes_checkpoint = 0;
+  int restarts = 0;
 };
 
 int prev_hosting_stage(const pipeline::StageMap& map, int s) {
@@ -115,6 +119,15 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
                   "active mask size mismatch");
       DYNMO_CHECK((*ph.active)[0], "rank 0 must survive re-packing");
     }
+    if (ph.restart_active) {
+      DYNMO_CHECK(!ph.active,
+                  "a phase is either a release or a restart, not both");
+      DYNMO_CHECK(static_cast<int>(ph.restart_active->size()) ==
+                      cfg_.workers,
+                  "restart mask size mismatch");
+      DYNMO_CHECK((*ph.restart_active)[0],
+                  "rank 0 must stay active across a restart");
+    }
   }
 
   comm::World world(cfg_.workers);
@@ -136,13 +149,79 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
       }
     }
 
-    bool released = false;
-    for (std::size_t pi = 0; pi < phases.size() && !released; ++pi) {
+    bool active_now = true;
+    for (std::size_t pi = 0; pi < phases.size(); ++pi) {
       const auto& phase = phases[pi];
       const auto& map = phase.map;
 
-      // 1. Migration from the previous phase's placement.
-      if (pi > 0) {
+      // 1. Weight redistribution into this phase's placement: either an
+      // elastic checkpoint restart (released workers may re-join) or the
+      // P2P migration of the running pipeline.
+      if (phase.restart_active) {
+        const auto& act = *phase.restart_active;
+        // 1a. Every rank — released ones included — ships the layers it
+        // owns to rank 0 (an empty set for non-owners), which assembles
+        // the Checkpoint and pushes it through the real binary format.
+        {
+          comm::Packer p;
+          p.put<std::uint64_t>(weights.size());
+          for (const auto& [l, w] : weights) {
+            p.put<std::uint64_t>(l);
+            p.put<std::uint64_t>(w.rows());
+            p.put<std::uint64_t>(w.cols());
+            p.put_span(w.data());
+          }
+          wcomm.send(0, kCkptGatherTag, p.take());
+        }
+        std::vector<std::byte> blob;
+        if (rank == 0) {
+          Checkpoint ckpt;
+          ckpt.iteration = global_it;
+          ckpt.stage_map = map;
+          for (int r = 0; r < wcomm.size(); ++r) {
+            const comm::Message m = wcomm.recv(r, kCkptGatherTag);
+            comm::Unpacker u(m.payload);
+            const auto n = u.get<std::uint64_t>();
+            for (std::uint64_t i = 0; i < n; ++i) {
+              const auto l = u.get<std::uint64_t>();
+              const auto rows = u.get<std::uint64_t>();
+              const auto cols = u.get<std::uint64_t>();
+              const auto data = u.get_vector<float>();
+              tensor::Tensor t(rows, cols);
+              std::copy(data.begin(), data.end(), t.data().begin());
+              ckpt.weights.emplace(l, std::move(t));
+            }
+          }
+          DYNMO_CHECK(ckpt.weights.size() == cfg.num_layers,
+                      "restart checkpoint covers " << ckpt.weights.size()
+                                                   << " of "
+                                                   << cfg.num_layers
+                                                   << " layers");
+          blob = ckpt.serialize();
+          stats.bytes_checkpoint += blob.size();
+          ++stats.restarts;
+        }
+        // 1b. Broadcast the serialized checkpoint; every rank reloads the
+        // layers the new map assigns it ("the model is reloaded and
+        // resharded among the workers during checkpoint recovery").
+        blob = wcomm.broadcast(std::move(blob), 0);
+        const Checkpoint ckpt = Checkpoint::deserialize(blob);
+        global_it = ckpt.iteration;  // re-joining ranks sync the stream
+        weights.clear();
+        active_now = act[static_cast<std::size_t>(rank)];
+        if (active_now) {
+          for (std::size_t l = map.stage_begin(rank);
+               l < map.stage_end(rank); ++l) {
+            const auto it = ckpt.weights.find(l);
+            DYNMO_CHECK(it != ckpt.weights.end(),
+                        "checkpoint misses layer " << l);
+            weights.emplace(l, it->second);
+          }
+        }
+        // 1c. The restart creates the collective communicator anew over
+        // the whole world — exactly the fresh-NCCL-communicator step.
+        coll = wcomm.split(active_now ? 0 : -1, rank);
+      } else if (pi > 0 && active_now) {
         const auto& prev = phases[pi - 1].map;
         for (std::size_t l = 0; l < cfg.num_layers; ++l) {
           const int src = prev.stage_of(l);
@@ -168,22 +247,31 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
         }
       }
 
-      // 2. Worker release (re-packing): fence survivors off, exit if freed.
+      // 2. Worker release (re-packing): fence survivors off; released
+      // workers idle through later phases (they can only re-join at a
+      // restart phase) but keep walking the plan so restart collectives
+      // over the world communicator see every rank.
       if (phase.active) {
-        DYNMO_CHECK(coll.has_value(), "released worker reused");
-        const bool mine = (*phase.active)[static_cast<std::size_t>(rank)];
-        // Split over the *current* collective group; all members call.
-        std::optional<comm::Communicator> next;
-        if (coll->rank() >= 0) {
-          next = coll->split(mine ? 0 : -1, coll->rank());
+        if (active_now) {
+          DYNMO_CHECK(coll.has_value(), "active worker lost its group");
+          const bool mine = (*phase.active)[static_cast<std::size_t>(rank)];
+          // Split over the *current* collective group; all members call.
+          coll = coll->split(mine ? 0 : -1, coll->rank());
+          if (!mine) {
+            DYNMO_CHECK(weights.empty(),
+                        "released worker still owns layers");
+            active_now = false;
+          }
+        } else {
+          DYNMO_CHECK(!(*phase.active)[static_cast<std::size_t>(rank)],
+                      "re-joining a released worker needs restart_active");
         }
-        coll = next;
-        if (!mine) {
-          DYNMO_CHECK(weights.empty(),
-                      "released worker still owns layers");
-          released = true;
-          break;
-        }
+      }
+      if (!active_now) {
+        DYNMO_CHECK(map.stage_empty(rank),
+                    "phase " << pi << " maps layers onto released worker "
+                             << rank);
+        continue;
       }
 
       // 3. Distributed global pruning (Algorithm 1) over the collective
@@ -269,6 +357,8 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
       p.put(stats.output_checksum);
       p.put(stats.bytes_migrated);
       p.put(stats.iterations_run);
+      p.put(stats.bytes_checkpoint);
+      p.put(stats.restarts);
       // Per-layer weight checksums + nnz for everything this rank owns.
       std::vector<std::uint64_t> layer_ids;
       std::vector<std::uint64_t> sums;
@@ -311,6 +401,8 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
     const auto osum = u.get<std::uint64_t>();
     const auto migrated = u.get<std::uint64_t>();
     const int iters = u.get<int>();
+    const auto ckpt_bytes = u.get<std::uint64_t>();
+    const int restarts = u.get<int>();
     const auto nnz = u.get<std::uint64_t>();
     const auto layer_ids = u.get_vector<std::uint64_t>();
     const auto sums = u.get_vector<std::uint64_t>();
@@ -318,6 +410,8 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
     report.output_checksum ^= osum;
     report.bytes_migrated += migrated;
     report.iterations_run = std::max(report.iterations_run, iters);
+    report.bytes_checkpoint += ckpt_bytes;
+    report.restarts += restarts;  // counted on rank 0 only
     report.weights_nnz += nnz;
     for (std::size_t i = 0; i < layer_ids.size(); ++i) {
       report.weight_checksums[layer_ids[i]] = sums[i];

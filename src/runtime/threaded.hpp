@@ -37,12 +37,23 @@ struct ThreadedConfig {
 
 /// One phase of the scripted run: train `iterations` on `map`, after an
 /// optional migration from the previous phase's map, an optional global
-/// prune, and an optional worker release (repack).
+/// prune, an optional worker release (repack), or an optional elastic
+/// restart (expand/shrink via checkpoint).
 struct PlanPhase {
   pipeline::StageMap map;
   int iterations = 1;
   std::optional<double> prune_sparsity;       ///< run Algorithm 1 first
   std::optional<std::vector<bool>> active;    ///< repack: who survives
+  /// Elastic restart (docs/RUNTIME.md): the phase begins with a
+  /// checkpoint-coordinated restart instead of P2P migration — current
+  /// owners ship their layers into a Checkpoint assembled (and serialized
+  /// through the real binary format) on rank 0, the blob is broadcast, and
+  /// every rank in this mask reloads the layers `map` assigns it.
+  /// Previously *released* workers may re-join here (the expand path);
+  /// the collective communicator is re-created from scratch over the new
+  /// active set, the "new NCCL communicator ... during the restart" of
+  /// §3.4.2.  Rank 0 must stay active.  Mutually exclusive with `active`.
+  std::optional<std::vector<bool>> restart_active;
 };
 
 struct ThreadedReport {
@@ -53,6 +64,9 @@ struct ThreadedReport {
   std::vector<double> worker_busy_s;          ///< per initial worker
   std::uint64_t bytes_migrated = 0;
   std::size_t weights_nnz = 0;                ///< after any pruning
+  int restarts = 0;                           ///< elastic restart phases run
+  /// Serialized checkpoint bytes broadcast across all restarts.
+  std::uint64_t bytes_checkpoint = 0;
 };
 
 class ThreadedPipeline {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include "core/error.hpp"
@@ -53,6 +54,162 @@ TEST(Checkpoint, RejectsTruncation) {
 TEST(Checkpoint, RejectsForeignMagic) {
   std::vector<std::byte> junk(64, std::byte{0x5a});
   EXPECT_THROW((void)runtime::Checkpoint::deserialize(junk), Error);
+}
+
+/// One [u16 tag][u64 size][payload] frame of the v2 stream
+/// (docs/RUNTIME.md byte-layout table).
+struct FieldFrame {
+  std::uint16_t tag = 0;
+  std::size_t frame_off = 0;    ///< where the tag starts
+  std::size_t payload_off = 0;  ///< where the payload starts
+  std::size_t size = 0;
+};
+
+std::vector<FieldFrame> walk_frames(const std::vector<std::byte>& bytes) {
+  std::vector<FieldFrame> out;
+  const std::size_t body = bytes.size() - sizeof(std::uint64_t);
+  std::size_t pos = 2 * sizeof(std::uint32_t);  // magic + version
+  while (pos < body) {
+    FieldFrame f;
+    f.frame_off = pos;
+    std::memcpy(&f.tag, bytes.data() + pos, sizeof(f.tag));
+    pos += sizeof(f.tag);
+    std::uint64_t sz = 0;
+    std::memcpy(&sz, bytes.data() + pos, sizeof(sz));
+    pos += sizeof(sz);
+    f.payload_off = pos;
+    f.size = static_cast<std::size_t>(sz);
+    pos += f.size;
+    out.push_back(f);
+  }
+  return out;
+}
+
+TEST(Checkpoint, StreamCarriesEveryTaggedField) {
+  const auto bytes = sample_checkpoint().serialize();
+  const auto frames = walk_frames(bytes);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0].tag,
+            static_cast<std::uint16_t>(runtime::CheckpointField::Iteration));
+  EXPECT_EQ(frames[1].tag,
+            static_cast<std::uint16_t>(runtime::CheckpointField::StageMap));
+  EXPECT_EQ(frames[2].tag, static_cast<std::uint16_t>(
+                               runtime::CheckpointField::LayerStates));
+  EXPECT_EQ(frames[3].tag,
+            static_cast<std::uint16_t>(runtime::CheckpointField::Weights));
+  // Frames tile the body exactly.
+  EXPECT_EQ(frames.back().payload_off + frames.back().size,
+            bytes.size() - sizeof(std::uint64_t));
+}
+
+TEST(Checkpoint, CorruptionAtEveryFieldBoundaryIsCaught) {
+  const auto clean = sample_checkpoint().serialize();
+  const auto frames = walk_frames(clean);
+  ASSERT_EQ(frames.size(), 4u);
+  for (const auto& f : frames) {
+    // Flip a byte in the tag, in the size, and in the payload of every
+    // field — all must throw (field/offset error or checksum mismatch),
+    // never parse to a wrong checkpoint or crash.
+    for (const std::size_t off :
+         {f.frame_off, f.frame_off + 2, f.payload_off}) {
+      auto bytes = clean;
+      bytes[off] ^= std::byte{0xff};
+      EXPECT_THROW((void)runtime::Checkpoint::deserialize(bytes), Error)
+          << "field tag " << f.tag << " byte " << off;
+    }
+  }
+}
+
+TEST(Checkpoint, HugeCorruptedCountsThrowErrorNotBadAlloc) {
+  // Structure is validated before the checksum, so corrupted counts and
+  // shapes reach the parser: they must fail the payload bound as a
+  // dynmo::Error — never as std::length_error or a multi-PB allocation.
+  const auto clean = sample_checkpoint().serialize();
+  const auto frames = walk_frames(clean);
+  // Flip the HIGH byte of the layer_states count (payload offset +7)...
+  {
+    auto bytes = clean;
+    bytes[frames[2].payload_off + 7] ^= std::byte{0x40};
+    EXPECT_THROW((void)runtime::Checkpoint::deserialize(bytes), Error);
+  }
+  // ...of the weights count...
+  {
+    auto bytes = clean;
+    bytes[frames[3].payload_off + 7] ^= std::byte{0x40};
+    EXPECT_THROW((void)runtime::Checkpoint::deserialize(bytes), Error);
+  }
+  // ...and of a weight entry's row count (first entry: u64 layer at +8,
+  // rows at +16) — the rows*cols product must not wrap past 2^64 into a
+  // passing shape check.
+  {
+    auto bytes = clean;
+    bytes[frames[3].payload_off + 16 + 7] ^= std::byte{0x40};
+    EXPECT_THROW((void)runtime::Checkpoint::deserialize(bytes), Error);
+  }
+}
+
+TEST(Checkpoint, TruncationAtEveryFieldBoundaryIsCaught) {
+  const auto clean = sample_checkpoint().serialize();
+  for (const auto& f : walk_frames(clean)) {
+    for (const std::size_t cut :
+         {f.frame_off + 1, f.payload_off, f.payload_off + f.size / 2}) {
+      auto bytes = clean;
+      bytes.resize(cut);
+      EXPECT_THROW((void)runtime::Checkpoint::deserialize(bytes), Error)
+          << "field tag " << f.tag << " cut at " << cut;
+    }
+  }
+}
+
+TEST(Checkpoint, DeserializeNamesTheFailingFieldAndOffset) {
+  // Corrupt the stage_map payload into non-monotone boundaries: the
+  // structural parse must fail *inside* that field and say so, rather
+  // than surface a generic checksum error.
+  const auto clean = sample_checkpoint().serialize();
+  const auto frames = walk_frames(clean);
+  const auto& sm = frames[1];
+  auto bytes = clean;
+  // Payload layout: u64 count, then the boundary values; clobber the
+  // second boundary (offset 8 + 8) with a huge value.
+  const std::uint64_t huge = ~0ull;
+  std::memcpy(bytes.data() + sm.payload_off + 16, &huge, sizeof(huge));
+  try {
+    (void)runtime::Checkpoint::deserialize(bytes);
+    FAIL() << "corrupt stage_map deserialized";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stage_map"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+  }
+}
+
+TEST(Checkpoint, VersionBumpIsRejectedWithTheVersionNamed) {
+  auto bytes = sample_checkpoint().serialize();
+  const std::uint32_t future = runtime::Checkpoint::kVersion + 1;
+  std::memcpy(bytes.data() + sizeof(std::uint32_t), &future, sizeof(future));
+  try {
+    (void)runtime::Checkpoint::deserialize(bytes);
+    FAIL() << "future version deserialized";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(future)), std::string::npos) << what;
+  }
+}
+
+TEST(Checkpoint, RoundTripAcrossWorkerCounts) {
+  // The elastic lifecycle reshards the same checkpoint onto shrinking and
+  // growing worker counts; serialization must be lossless at every one.
+  const auto base = sample_checkpoint();
+  const std::vector<double> weights(8, 1.0);
+  for (const int workers : {1, 2, 3, 5, 8}) {
+    const auto resharded =
+        runtime::reshard_for_restart(base, workers, weights);
+    EXPECT_EQ(resharded.stage_map.num_stages(), workers);
+    const auto back =
+        runtime::Checkpoint::deserialize(resharded.serialize());
+    EXPECT_EQ(back, resharded) << workers << " workers";
+  }
 }
 
 TEST(Checkpoint, FileRoundTrip) {

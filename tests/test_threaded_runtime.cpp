@@ -156,6 +156,84 @@ TEST(Threaded, RepackReleasesWorkersAndContinues) {
   EXPECT_EQ(report.output_checksum, ref.run({stay}).output_checksum);
 }
 
+TEST(Threaded, ExpandRejoinsReleasedWorkersViaCheckpoint) {
+  // The full elastic lifecycle on real threads: shrink onto 2 workers,
+  // then a restart phase re-activates the released ones, whose weights
+  // arrive via checkpoint reload — and the math stays bit-identical to a
+  // run that never breathed.
+  const auto cfg = small_config();
+  ThreadedPipeline pipe(cfg);
+  PlanPhase p1;
+  p1.map = pipeline::StageMap::uniform(8, 4);
+  p1.iterations = 2;
+  PlanPhase p2;  // shrink: consolidate onto workers 0-1, release 2-3
+  p2.map = pipeline::StageMap::from_boundaries({0, 4, 8, 8, 8});
+  p2.iterations = 2;
+  p2.active = std::vector<bool>{true, true, false, false};
+  PlanPhase p3;  // expand: workers 2-3 re-join through the checkpoint
+  p3.map = pipeline::StageMap::uniform(8, 4);
+  p3.iterations = 2;
+  p3.restart_active = std::vector<bool>{true, true, true, true};
+  const auto report = pipe.run({p1, p2, p3});
+  EXPECT_EQ(report.iterations_run, 6);
+  EXPECT_EQ(report.restarts, 1);
+  EXPECT_GT(report.bytes_checkpoint, 0u);
+  EXPECT_GT(report.worker_busy_s[2], 0.0);  // re-joined and worked
+
+  ThreadedPipeline ref(cfg);
+  PlanPhase stay = p1;
+  stay.iterations = 6;
+  const auto r = ref.run({stay});
+  EXPECT_EQ(report.output_checksum, r.output_checksum);
+  EXPECT_EQ(report.weight_checksums, r.weight_checksums);
+}
+
+TEST(Threaded, RestartWithoutReleaseIsACheckpointRoundTrip) {
+  // A restart over the unchanged active set reloads every worker's
+  // weights from the serialized checkpoint mid-run — determinism means
+  // the byte format preserved them exactly.
+  const auto cfg = small_config();
+  ThreadedPipeline pipe(cfg);
+  PlanPhase p1;
+  p1.map = pipeline::StageMap::uniform(8, 4);
+  p1.iterations = 2;
+  PlanPhase p2;
+  p2.map = pipeline::StageMap::from_boundaries({0, 3, 5, 6, 8});
+  p2.iterations = 2;
+  p2.restart_active = std::vector<bool>{true, true, true, true};
+  const auto report = pipe.run({p1, p2});
+  EXPECT_EQ(report.restarts, 1);
+  EXPECT_EQ(report.bytes_migrated, 0u);  // reload, not P2P migration
+
+  ThreadedPipeline ref(cfg);
+  PlanPhase stay = p1;
+  stay.iterations = 4;
+  EXPECT_EQ(report.output_checksum, ref.run({stay}).output_checksum);
+}
+
+TEST(Threaded, WeightUpdatesSurviveAnElasticRestart) {
+  auto cfg = small_config();
+  cfg.apply_weight_update = true;
+  ThreadedPipeline pipe(cfg);
+  PlanPhase p1;
+  p1.map = pipeline::StageMap::uniform(8, 4);
+  p1.iterations = 2;
+  PlanPhase p2;
+  p2.map = pipeline::StageMap::from_boundaries({0, 4, 8, 8, 8});
+  p2.iterations = 1;
+  p2.active = std::vector<bool>{true, true, false, false};
+  PlanPhase p3;
+  p3.map = pipeline::StageMap::uniform(8, 4);
+  p3.iterations = 1;
+  p3.restart_active = std::vector<bool>{true, true, true, true};
+  const auto breathed = pipe.run({p1, p2, p3});
+
+  ThreadedPipeline ref(cfg);
+  PlanPhase stay = p1;
+  stay.iterations = 4;
+  EXPECT_EQ(breathed.weight_checksums, ref.run({stay}).weight_checksums);
+}
+
 TEST(Threaded, BusyTimeConcentratesOnHostingWorkers) {
   const auto cfg = small_config();
   ThreadedPipeline pipe(cfg);
@@ -177,6 +255,16 @@ TEST(Threaded, RejectsMalformedPlans) {
   bad_release.map = pipeline::StageMap::from_boundaries({0, 0, 4, 6, 8});
   bad_release.active = std::vector<bool>{false, true, true, true};
   EXPECT_THROW((void)pipe.run({bad_release}), Error);  // rank 0 must stay
+
+  PlanPhase bad_restart;
+  bad_restart.map = pipeline::StageMap::uniform(8, 4);
+  bad_restart.restart_active = std::vector<bool>{false, true, true, true};
+  EXPECT_THROW((void)pipe.run({bad_restart}), Error);  // rank 0 must stay
+  bad_restart.restart_active = std::vector<bool>{true, true, true};
+  EXPECT_THROW((void)pipe.run({bad_restart}), Error);  // mask size
+  bad_restart.restart_active = std::vector<bool>{true, true, true, true};
+  bad_restart.active = std::vector<bool>{true, true, true, true};
+  EXPECT_THROW((void)pipe.run({bad_restart}), Error);  // release xor restart
 }
 
 }  // namespace

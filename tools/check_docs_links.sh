@@ -4,7 +4,11 @@
 #      discoverable from the front page;
 #   2. every relative markdown link in README.md and docs/*.md resolves to
 #      an existing file (links are resolved relative to the file that
-#      contains them; http(s) URLs and pure #anchors are skipped).
+#      contains them; http(s) URLs are skipped);
+#   3. every #anchor — in a cross-page link (docs/X.md#section) or a pure
+#      intra-page link (#section) — matches a heading of the target file,
+#      using GitHub's slug rule (lowercase, punctuation stripped, spaces
+#      to dashes).
 # Exits non-zero listing every violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,18 +21,45 @@ for f in docs/*.md; do
   fi
 done
 
+# GitHub heading slugs of a markdown file, one per line.
+anchors_of() {
+  grep -E '^#{1,6} ' "$1" \
+    | sed -E 's/^#{1,6} +//; s/ +$//' \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
 for src in README.md docs/*.md; do
   dir=$(dirname "$src")
   while IFS= read -r link; do
     [ -n "$link" ] || continue
     case "$link" in
-      http://*|https://*|mailto:*|'#'*) continue ;;
+      http://*|https://*|mailto:*) continue ;;
     esac
     target=${link%%#*}
-    [ -n "$target" ] || continue
-    if [ ! -e "$dir/$target" ]; then
+    anchor=""
+    case "$link" in
+      *'#'*) anchor=${link#*#} ;;
+    esac
+    if [ -n "$target" ] && [ ! -e "$dir/$target" ]; then
       echo "dead link in $src: ($link)"
       fail=1
+      continue
+    fi
+    if [ -n "$anchor" ]; then
+      # Resolve the anchor against the linked file (or the linking file
+      # itself for pure #anchors); only markdown targets carry headings.
+      anchor_file=$src
+      if [ -n "$target" ]; then
+        case "$target" in
+          *.md) anchor_file="$dir/$target" ;;
+          *) continue ;;
+        esac
+      fi
+      if ! anchors_of "$anchor_file" | grep -qxF "$anchor"; then
+        echo "dead anchor in $src: ($link) — no heading '#$anchor' in $anchor_file"
+        fail=1
+      fi
     fi
   done < <(grep -oE '\]\([^)]+\)' "$src" | sed -E 's/^\]\(//; s/\)$//')
 done
