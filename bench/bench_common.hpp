@@ -8,6 +8,7 @@
 // reproduction target (see EXPERIMENTS.md).
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -97,6 +98,34 @@ inline const char* json_path_arg(int argc, char** argv) {
     }
   }
   return nullptr;
+}
+
+/// `--trace-dir DIR` argument: benches that support it write one telemetry
+/// trace per swept configuration under DIR/<slug> (docs/TELEMETRY.md), so
+/// a sweep's every decision is queryable after the fact.  Returns nullptr
+/// when absent.
+inline const char* trace_dir_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+/// Filesystem-safe subdirectory name for a sweep label.
+inline std::string trace_slug(const std::string& label) {
+  std::string s;
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+        c == '-') {
+      s.push_back(c);
+    } else if (!s.empty() && s.back() != '_') {
+      s.push_back('_');
+    }
+  }
+  while (!s.empty() && s.back() == '_') s.pop_back();
+  return s;
 }
 
 /// Uniform BENCH_fig3_*.json recorder: one object per bench, one entry per

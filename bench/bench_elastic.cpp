@@ -18,7 +18,10 @@
 // `--smoke` shrinks the simulated horizon for CI; `--json PATH` records
 // the sweep via bench::JsonRecorder with the lifecycle counters as extra
 // per-row fields (gpu_hours_saved, expands, shrinks, restart_stall_s —
-// all deterministic; see docs/BENCHMARKS.md).
+// all deterministic; see docs/BENCHMARKS.md).  `--trace-dir DIR` records
+// one telemetry trace per configuration under DIR/<label> — the
+// elastic_transitions table then holds every shrink/expand verdict with
+// its restart-stall breakdown (docs/TELEMETRY.md).
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -78,8 +81,17 @@ runtime::SessionConfig base_config(const Scenario& sc) {
   return cfg;
 }
 
+/// Set via --trace-dir: every swept configuration records its telemetry
+/// trace under <dir>/<label slug> (docs/TELEMETRY.md).
+const char* g_trace_dir = nullptr;
+
 runtime::SessionResult run_one(const model::ModelDesc& m, const Scenario& sc,
-                               runtime::SessionConfig cfg) {
+                               runtime::SessionConfig cfg,
+                               const std::string& label) {
+  if (g_trace_dir != nullptr) {
+    cfg.telemetry.dir =
+        std::string(g_trace_dir) + "/" + bench::trace_slug(label);
+  }
   SpikeEngine engine(sc.lull_begin, sc.lull_end, /*heavy_layers=*/4);
   runtime::TrainingSession session(m, cfg, &engine);
   return session.run();
@@ -120,6 +132,7 @@ void print_lifecycle(const std::vector<bench::Row>& rows) {
 int main(int argc, char** argv) {
   bool smoke = false;
   const char* json_path = bench::json_path_arg(argc, argv);
+  g_trace_dir = bench::trace_dir_arg(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
@@ -154,7 +167,7 @@ int main(int argc, char** argv) {
     return cfg;
   };
 
-  const auto baseline = run_one(m, sc, base_config(sc));
+  const auto baseline = run_one(m, sc, base_config(sc), "never-shrunk");
   const double base_final = baseline.samples.back().time_s;
   bench::JsonRecorder recorder("elastic");
 
@@ -173,7 +186,8 @@ int main(int argc, char** argv) {
                       gain);
         rows.push_back(
             make_row(label,
-                     run_one(m, sc, elastic_config(tol, gain, 600.0)),
+                     run_one(m, sc, elastic_config(tol, gain, 600.0),
+                             label),
                      base_final));
       }
     }
@@ -193,7 +207,8 @@ int main(int argc, char** argv) {
       std::snprintf(label, sizeof label, "window %g", window);
       rows.push_back(make_row(label,
                               run_one(m, sc, elastic_config(1.05, 0.02,
-                                                            window)),
+                                                            window),
+                                      label),
                               base_final));
     }
     bench::print_table("payoff window (tol 1.05, gain 0.02)", rows,

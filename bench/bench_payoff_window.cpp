@@ -18,7 +18,10 @@
 // sweep as a BENCH_*.json perf trajectory (see bench/record_bench.sh and
 // docs/BENCHMARKS.md).  Bytes and counts are deterministic; tokens/sec is
 // rounded to 4 significant digits so measured decide-time jitter cannot
-// move the recorded numbers.
+// move the recorded numbers.  `--trace-dir DIR` records one telemetry
+// trace per (cadence, window) point under DIR — query the
+// rebalance_decisions table for each point's accept/reject ledger, or
+// replay any point under a different window (docs/TELEMETRY.md).
 #include <cstring>
 #include <vector>
 
@@ -67,6 +70,7 @@ int main(int argc, char** argv) {
   using namespace dynmo;
   bool smoke = false;
   const char* json_path = bench::json_path_arg(argc, argv);
+  const char* trace_dir = bench::trace_dir_arg(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
@@ -107,6 +111,13 @@ int main(int argc, char** argv) {
       opt.session.rebalance_interval = cadence;
       opt.session.payoff_window_iters =
           window_mult * static_cast<double>(cadence);
+      if (trace_dir != nullptr) {
+        char slug[64];
+        std::snprintf(slug, sizeof slug, "cadence%lld_window%g",
+                      static_cast<long long>(cadence),
+                      opt.session.payoff_window_iters);
+        opt.session.telemetry.dir = std::string(trace_dir) + "/" + slug;
+      }
       Session s(model, UseCase::Moe, opt);
       const auto r = s.run();
       SweepRow row;

@@ -6,6 +6,7 @@
 #   bench/BENCH_fig4_repack.json       (forced + automatic re-packing)
 #   bench/BENCH_payoff_window.json     (payoff acceptance vs. cadence)
 #   bench/BENCH_elastic.json           (elastic shrink/expand thresholds)
+#   bench/BENCH_trace_overhead.json    (telemetry observer-effect gate)
 #   bench/BENCH_fig3_<use_case>.json   (the six Figure-3 panels)
 # with the current aggregates.  All bench arithmetic is deterministic
 # (fixed seeds, analytic cost models) and throughputs are rounded past the
@@ -24,6 +25,7 @@ BENCHES=(
   fig4_repack
   payoff_window
   elastic
+  trace_overhead
   fig3_early_exit
   fig3_freezing
   fig3_mod

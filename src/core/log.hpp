@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string_view>
@@ -15,8 +16,14 @@ namespace dynmo {
 
 enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
+const char* to_string(LogLevel level);
+
 class Logger {
  public:
+  /// Receives every formatted line (timestamp + level prefix included,
+  /// no trailing newline).  Called under the logger's mutex.
+  using Sink = std::function<void(LogLevel, std::string_view line)>;
+
   static Logger& instance();
 
   void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
@@ -25,12 +32,17 @@ class Logger {
     return static_cast<int>(level) >= level_.load();
   }
 
+  /// Redirect log lines to `sink` instead of stderr (tests capture output
+  /// this way); an empty sink restores stderr.
+  void set_sink(Sink sink);
+
   void write(LogLevel level, std::string_view msg);
 
  private:
   Logger() = default;
   std::atomic<int> level_{static_cast<int>(LogLevel::Warn)};
   std::mutex mu_;
+  Sink sink_;
 };
 
 namespace detail {

@@ -44,7 +44,7 @@ ElasticController::ElasticController(ElasticConfig cfg, int initial_workers,
               "elastic controller needs a bootstrap link resolver");
 }
 
-double ElasticController::restart_stall_s(
+RestartStall ElasticController::restart_stall(
     const pipeline::StageMap& before, const pipeline::StageMap& after,
     std::span<const double> state_bytes) const {
   const auto busiest_shard = [&](const pipeline::StageMap& m) {
@@ -54,17 +54,19 @@ double ElasticController::restart_stall_s(
   };
   // Every worker writes/reads its own shard concurrently; the busiest
   // shard gates each phase (docs/COST_MODEL.md "Restart-stall pricing").
-  const double write_s = busiest_shard(before) / cfg_.checkpoint_bw;
-  const double read_s = busiest_shard(after) / cfg_.checkpoint_bw;
+  RestartStall stall;
+  stall.alpha_s = cfg_.restart_alpha_s;
+  stall.ckpt_write_s = busiest_shard(before) / cfg_.checkpoint_bw;
+  stall.ckpt_read_s = busiest_shard(after) / cfg_.checkpoint_bw;
   const int workers = std::max(1, after.num_stages());
   const int steps = static_cast<int>(
       std::ceil(std::log2(static_cast<double>(workers))));
   const comm::LinkParams link = bootstrap_link_(workers);
-  const double init_s =
+  stall.bootstrap_s =
       static_cast<double>(steps) *
       (link.alpha_s +
        static_cast<double>(cfg_.bootstrap_bytes) / link.beta_bytes_s);
-  return cfg_.restart_alpha_s + init_s + write_s + read_s;
+  return stall;
 }
 
 ElasticDecision ElasticController::decide(
@@ -119,7 +121,8 @@ ElasticDecision ElasticController::decide(
     const auto packed = repack::repack_contiguous(req, target);
     DYNMO_CHECK(packed.feasible, "memory-clamped pack must be feasible");
     d.target_workers = target;
-    d.restart_stall_s = restart_stall_s(map, packed.map, state_bytes);
+    d.stall = restart_stall(map, packed.map, state_bytes);
+    d.restart_stall_s = d.stall.total_s();
     // Freed GPU-time per iteration must amortize stalling all current
     // workers for the restart — the re-pack payoff rule with the restart
     // stall in place of the migration wall-clock.
@@ -152,8 +155,8 @@ ElasticDecision ElasticController::decide(
         const auto balanced = balance::PartitionBalancer{}.balance(preq);
         d.target_workers = grown;
         d.projected_gain_s = gain;
-        d.restart_stall_s =
-            restart_stall_s(map, balanced.map, state_bytes);
+        d.stall = restart_stall(map, balanced.map, state_bytes);
+        d.restart_stall_s = d.stall.total_s();
         // The migration payoff rule verbatim: per-iteration gain times the
         // window must cover the exposed (restart) cost.
         if (window > 0.0 && gain * window < d.restart_stall_s) {

@@ -84,6 +84,19 @@ struct ElasticConfig {
   std::string pod = "dynmo-train";
 };
 
+/// The restart stall, itemized (docs/COST_MODEL.md "Restart-stall
+/// pricing") — telemetry records each term so a trace shows *where* a
+/// transition's cost went, not just its total.
+struct RestartStall {
+  double alpha_s = 0.0;       ///< job-manager round-trip + respawn
+  double bootstrap_s = 0.0;   ///< binomial communicator bootstrap
+  double ckpt_write_s = 0.0;  ///< busiest shard, pre-restart map
+  double ckpt_read_s = 0.0;   ///< busiest shard, post-restart map
+  double total_s() const {
+    return alpha_s + bootstrap_s + ckpt_write_s + ckpt_read_s;
+  }
+};
+
 struct ElasticDecision {
   ElasticAction action = ElasticAction::Hold;
   int target_workers = 0;
@@ -92,6 +105,8 @@ struct ElasticDecision {
   double projected_gain_s = 0.0;
   /// Modeled restart stall the transition charges (0 for Hold).
   double restart_stall_s = 0.0;
+  /// The same stall itemized; stall.total_s() == restart_stall_s.
+  RestartStall stall{};
   /// A transition was wanted but its stall did not amortize within the
   /// payoff window — the session counts these in maps_rejected_payoff.
   bool rejected_by_payoff = false;
@@ -127,9 +142,14 @@ class ElasticController {
   /// onto `after` (docs/COST_MODEL.md "Restart-stall pricing"): respawn
   /// alpha + binomial communicator bootstrap over the new group's link +
   /// busiest-shard checkpoint write and reload.
+  RestartStall restart_stall(const pipeline::StageMap& before,
+                             const pipeline::StageMap& after,
+                             std::span<const double> state_bytes) const;
   double restart_stall_s(const pipeline::StageMap& before,
                          const pipeline::StageMap& after,
-                         std::span<const double> state_bytes) const;
+                         std::span<const double> state_bytes) const {
+    return restart_stall(before, after, state_bytes).total_s();
+  }
 
   const repack::MockEckCluster& cluster() const { return *cluster_; }
   int claimed_workers() const { return job_.claimed_gpus(); }

@@ -332,6 +332,55 @@ SessionResult TrainingSession::run() {
   };
   balance::Rebalancer rebalancer = make_rebalancer(S0);
 
+  // Structured trace emission (docs/TELEMETRY.md).  The writer observes the
+  // run and never feeds back into it: every decision below is taken on the
+  // same values with or without a trace attached.
+  std::optional<telemetry::TraceWriter> trace;
+  if (cfg_.telemetry.enabled()) {
+    telemetry::RunInfo info;
+    info.producer = "session";
+    info.iterations = cfg_.iterations;
+    info.sim_stride = cfg_.sim_stride;
+    // Non-DynMo modes never rebalance; recording 0 keeps offline replay of
+    // their traces on the static-map path.
+    info.rebalance_interval =
+        cfg_.mode == BalancingMode::DynMo ? interval : 0;
+    info.pipeline_stages = cfg_.pipeline_stages;
+    info.data_parallel = cfg_.data_parallel;
+    info.seed = cfg_.seed;
+    info.mode = to_string(cfg_.mode);
+    info.algorithm = balance::to_string(cfg_.algorithm);
+    info.balance_by = balance::to_string(cfg_.balance_by);
+    info.mem_capacity = rb_cfg.mem_capacity;
+    info.min_bottleneck_gain = rb_cfg.min_bottleneck_gain;
+    info.payoff_window_iters = rb_cfg.payoff_window_iters;
+    info.migration_cost_multiplier = rb_cfg.migration_cost_multiplier;
+    info.migration_exposed_fraction = rb_cfg.migration_exposed_fraction;
+    info.gamma = rb_cfg.gamma;
+    info.stage_to_rank = rb_cfg.stage_to_rank;
+    info.capacities = rb_cfg.capacities;
+    info.layer_params.reserve(model_->num_layers());
+    for (const auto& l : model_->layers) {
+      info.layer_params.push_back(static_cast<double>(l.params));
+    }
+    trace.emplace(cfg_.telemetry, std::move(info));
+  }
+
+  const auto emit_migration_rows = [&](std::int64_t iter, const char* trigger,
+                                       const balance::MigrationPlan& plan) {
+    if (!trace) return;
+    for (const auto& t : plan.transfers) {
+      telemetry::MigrationRow row;
+      row.iter = iter;
+      row.trigger = trigger;
+      row.layer = static_cast<std::int64_t>(t.layer);
+      row.from_stage = t.src_stage;
+      row.to_stage = t.dst_stage;
+      row.bytes = t.bytes;
+      trace->write_migration(row);
+    }
+  };
+
   const auto record_migration_split = [&](const balance::MigrationPlan& plan,
                                           double scale, SessionResult& res) {
     if (!deployment_ || plan.empty()) return;
@@ -351,7 +400,8 @@ SessionResult TrainingSession::run() {
   // counters, the accept/reject decision into the map counters, rejected
   // candidates' traffic into migration_bytes_avoided.
   const auto account_outcome = [&](const balance::RebalanceOutcome& outcome,
-                                   double scale, SessionResult& res) {
+                                   double scale, SessionResult& res,
+                                   std::int64_t iter, const char* trigger) {
     record_migration_split(outcome.migration, scale, res);
     switch (outcome.decision) {
       case balance::MapDecision::Accepted:
@@ -367,6 +417,25 @@ SessionResult TrainingSession::run() {
         res.migration_bytes_avoided +=
             outcome.candidate_bytes * replica_mirror * scale;
         break;
+    }
+    if (trace) {
+      telemetry::RebalanceDecisionRow row;
+      row.iter = iter;
+      row.trigger = trigger;
+      row.algorithm = balance::to_string(rb_cfg.algorithm);
+      row.balance_by = balance::to_string(rb_cfg.by);
+      row.decision = balance::to_string(outcome.decision);
+      row.projected_gain_s = outcome.projected_gain_s;
+      row.exposed_cost_s = outcome.exposed_cost_s;
+      row.candidate_bytes = outcome.candidate_bytes;
+      row.migrated_bytes = outcome.migration.total_bytes();
+      row.migrated_layers =
+          static_cast<std::int64_t>(outcome.migration.transfers.size());
+      row.imbalance_before = outcome.imbalance_before;
+      row.imbalance_after = outcome.imbalance_after;
+      row.decide_s = outcome.overhead.decide_s;
+      trace->write_rebalance_decision(row);
+      emit_migration_rows(iter, trigger, outcome.migration);
     }
   };
 
@@ -420,6 +489,18 @@ SessionResult TrainingSession::run() {
 
     const auto mem = builder_.layer_memory_bytes(states, map);
 
+    const bool rebalance_point = cfg_.mode == BalancingMode::DynMo &&
+                                 interval > 0 && iter % interval == 0;
+    // Raw (pre-noise) per-layer fwd+bwd seconds: the profile's time loads
+    // at rebalance points, and what the stage_loads table records — replay
+    // re-derives the measurement noise from the seed, so recording the raw
+    // values keeps the trace exact.
+    std::vector<double> layer_seconds;
+    if (trace || rebalance_point) {
+      layer_seconds = builder_.layer_total_seconds(states);
+    }
+    double iter_restart_stall = 0.0;
+
     // --- DynMo: rebalance / re-pack --------------------------------------
     // Rebalancing happens *inside* the iteration: for every-iteration
     // cadences (MoE / MoD / sparse attention) the forward pass measures the
@@ -428,10 +509,9 @@ SessionResult TrainingSession::run() {
     // measured.  For slow cadences (pruning / freezing / early exit) this
     // merely skips the single imbalanced profiling iteration, which is
     // negligible at those intervals.
-    if (cfg_.mode == BalancingMode::DynMo && interval > 0 &&
-        iter % interval == 0) {
+    if (rebalance_point) {
       balance::LayerProfile profile;
-      profile.time_s = builder_.layer_total_seconds(states);
+      profile.time_s = layer_seconds;
       profile.memory_bytes = mem;
       profile.params.reserve(model_->num_layers());
       for (const auto& l : model_->layers) {
@@ -441,7 +521,7 @@ SessionResult TrainingSession::run() {
 
       const auto outcome = rebalancer.rebalance(profile, map);
       map = outcome.map;
-      account_outcome(outcome, events_per_window, res);
+      account_outcome(outcome, events_per_window, res, iter, "periodic");
       balance::OverheadBreakdown scaled = outcome.overhead;
       // Every-iteration rebalancing couples migration with backprop; only
       // the non-overlapped remainder is exposed.
@@ -535,10 +615,38 @@ SessionResult TrainingSession::run() {
               ++res.maps_rejected_payoff;
               res.migration_bytes_avoided +=
                   migration.total_bytes() * replica_mirror;
+              if (trace) {
+                telemetry::ElasticTransitionRow row;
+                row.iter = iter;
+                row.kind = "repack";
+                row.accepted = false;
+                row.workers_before = active;
+                row.workers_after = rp.active_workers;
+                row.stall_s = migrate_s;
+                row.projected_gain_s = freed * bottleneck_s;
+                row.migrated_bytes = migration.total_bytes();
+                trace->write_elastic_transition(row);
+              }
             }
           }
           if (pack_pays_off) {
             record_migration_split(migration, 1.0, res);
+            if (trace) {
+              telemetry::ElasticTransitionRow row;
+              row.iter = iter;
+              row.kind = "repack";
+              row.accepted = true;
+              row.workers_before = active;
+              row.workers_after = rp.active_workers;
+              row.stall_s = migrate_s;
+              const auto loads = map.stage_loads(profile.time_s);
+              row.projected_gain_s =
+                  static_cast<double>(active - rp.active_workers) *
+                  *std::max_element(loads.begin(), loads.end());
+              row.migrated_bytes = migration.total_bytes();
+              trace->write_elastic_transition(row);
+              emit_migration_rows(iter, "repack", migration);
+            }
             event_time += migrate_s;
             res.overhead.migrate_s += migrate_s;
             map = packed;
@@ -550,7 +658,7 @@ SessionResult TrainingSession::run() {
             // polish reuses the profile already charged above).
             const auto rb = rebalancer.rebalance(profile, map);
             map = rb.map;
-            account_outcome(rb, 1.0, res);
+            account_outcome(rb, 1.0, res, iter, "post_pack");
             balance::OverheadBreakdown polish = rb.overhead;
             polish.profile_s = 0.0;
             res.overhead += polish;
@@ -571,12 +679,34 @@ SessionResult TrainingSession::run() {
         }
         const auto d =
             elastic->decide(map, iter_layer_s, mem, mem_capacity, active);
+        const auto emit_elastic_row = [&](bool accepted) {
+          if (!trace) return;
+          telemetry::ElasticTransitionRow row;
+          row.iter = iter;
+          // A payoff-rejected decision keeps action == Hold; the wanted
+          // direction is recoverable from the target.
+          row.kind = d.action != ElasticAction::Hold
+                         ? to_string(d.action)
+                         : (d.target_workers < active ? "shrink" : "expand");
+          row.accepted = accepted;
+          row.workers_before = active;
+          row.workers_after = d.target_workers;
+          row.stall_s = d.restart_stall_s;
+          row.alpha_s = d.stall.alpha_s;
+          row.bootstrap_s = d.stall.bootstrap_s;
+          row.ckpt_write_s = d.stall.ckpt_write_s;
+          row.ckpt_read_s = d.stall.ckpt_read_s;
+          row.projected_gain_s = d.projected_gain_s;
+          trace->write_elastic_transition(row);
+        };
         if (d.rejected_by_payoff) {
           // A transition was wanted but its restart stall does not
           // amortize within the payoff window — same ledger as rejected
           // migrations (no bytes though: restarts move none).
           ++res.maps_rejected_payoff;
+          emit_elastic_row(false);
         } else if (d.action != ElasticAction::Hold && elastic->commit(d)) {
+          emit_elastic_row(true);
           // Checkpoint-coordinated restart (docs/RUNTIME.md): serialize
           // the training state through the real binary format, re-pack
           // the stage map onto the new worker count, and resume from the
@@ -600,6 +730,7 @@ SessionResult TrainingSession::run() {
           active = d.target_workers;
           event_time += d.restart_stall_s;
           res.restart_stall_s += d.restart_stall_s;
+          iter_restart_stall += d.restart_stall_s;
           if (d.action == ElasticAction::Expand) {
             ++res.expands;
           } else {
@@ -611,7 +742,7 @@ SessionResult TrainingSession::run() {
           rebalancer = make_rebalancer(active);
           const auto rb = rebalancer.rebalance(profile, map);
           map = rb.map;
-          account_outcome(rb, 1.0, res);
+          account_outcome(rb, 1.0, res, iter, "post_restart");
           balance::OverheadBreakdown polish = rb.overhead;
           polish.profile_s = 0.0;
           res.overhead += polish;
@@ -676,8 +807,50 @@ SessionResult TrainingSession::run() {
     sample.active_workers = active;
     sample.compute_fraction =
         engine_ != nullptr ? engine_->compute_fraction(states) : 1.0;
+    sample.rebalanced = rebalance_point;
+    sample.stall_s = event_time;
     res.samples.push_back(sample);
+
+    if (trace) {
+      // Stage rows use the map in effect *after* this iteration's events —
+      // the map the recorded loads actually ran under.  Concatenating the
+      // per-layer arrays across stages reconstructs the full layer vectors
+      // regardless of where the boundaries sit.
+      const auto stage_s = map.stage_loads(layer_seconds);
+      const auto stage_mem = map.stage_loads(mem);
+      for (int s = 0; s < map.num_stages(); ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        telemetry::StageLoadRow row;
+        row.iter = iter;
+        row.stage = s;
+        row.rank = deployment_ ? deployment_->rank(s) : s;
+        row.layer_begin = static_cast<std::int64_t>(map.stage_begin(s));
+        row.layer_end = static_cast<std::int64_t>(map.stage_end(s));
+        row.load_s = stage_s[si];
+        row.mem_bytes = stage_mem[si];
+        if (cfg_.telemetry.per_layer) {
+          row.layer_s.assign(layer_seconds.begin() + row.layer_begin,
+                             layer_seconds.begin() + row.layer_end);
+          row.layer_mem.assign(mem.begin() + row.layer_begin,
+                               mem.begin() + row.layer_end);
+        }
+        trace->write_stage_load(row);
+      }
+      telemetry::IterationRow irow;
+      irow.iter = iter;
+      irow.time_s = iter_time;
+      irow.event_s = event_time;
+      irow.bottleneck_s = *std::max_element(stage_s.begin(), stage_s.end());
+      irow.idleness = sample.idleness;
+      irow.bubble_ratio = sample.bubble_ratio;
+      irow.active_workers = active;
+      irow.compute_fraction = sample.compute_fraction;
+      irow.rebalanced = rebalance_point;
+      irow.stall_s = iter_restart_stall;
+      trace->write_iteration(irow);
+    }
   }
+  if (trace) trace->finalize();
 
   const double iters = static_cast<double>(cfg_.iterations);
   res.tokens_per_sec = tokens_per_iteration() * iters / res.total_time_s;

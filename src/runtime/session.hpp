@@ -34,6 +34,7 @@
 #include "pipeline/stage_map.hpp"
 #include "repack/repack.hpp"
 #include "runtime/elastic.hpp"
+#include "telemetry/trace_writer.hpp"
 
 namespace dynmo::runtime {
 
@@ -147,6 +148,15 @@ struct SessionConfig {
   double migration_overlap = 0.85;
 
   std::uint64_t seed = 0x5eed;
+
+  /// Structured trace emission (docs/TELEMETRY.md): set `telemetry.dir` to
+  /// stream every simulated iteration's per-stage loads, every rebalance
+  /// decision, every migration, and every elastic transition to a queryable
+  /// trace directory (catalog.json + one JSONL file per table).  Default —
+  /// an empty dir — disables emission entirely and costs nothing: the
+  /// session takes the exact same decisions with and without a trace
+  /// attached (the simulated clock never sees the writer).
+  telemetry::TelemetryConfig telemetry{};
 };
 
 struct IterationSample {
@@ -156,6 +166,12 @@ struct IterationSample {
   double bubble_ratio = 0.0;
   int active_workers = 0;
   double compute_fraction = 1.0;
+  /// A rebalance point fired at this iteration (the map may still be
+  /// unchanged — see the decision counters for what happened to it).
+  bool rebalanced = false;
+  /// One-off stall charged at this iteration on top of `time_s`:
+  /// rebalance/migration overhead, re-pack transfers, restart stalls.
+  double stall_s = 0.0;
 };
 
 struct SessionResult {

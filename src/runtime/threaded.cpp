@@ -133,7 +133,23 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
   comm::World world(cfg_.workers);
   const ThreadedConfig cfg = cfg_;
 
-  const auto worker_main = [&world, &phases, cfg](int rank) {
+  // Shared trace writer: TraceWriter serializes appends internally, so the
+  // worker threads emit into it concurrently.
+  std::optional<telemetry::TraceWriter> trace_storage;
+  if (cfg_.telemetry.enabled()) {
+    telemetry::RunInfo info;
+    info.producer = "threaded";
+    for (const auto& ph : phases) info.iterations += ph.iterations;
+    info.rebalance_interval = 0;  // maps change by plan, not by balancer
+    info.pipeline_stages = cfg_.workers;
+    info.seed = cfg_.seed;
+    info.mode = "threaded";
+    trace_storage.emplace(cfg_.telemetry, std::move(info));
+  }
+  telemetry::TraceWriter* const trace =
+      trace_storage ? &*trace_storage : nullptr;
+
+  const auto worker_main = [&world, &phases, cfg, trace](int rank) {
     const comm::Communicator wcomm = world.world_comm(rank);
     std::optional<comm::Communicator> coll = wcomm;  // collective group
     std::map<std::size_t, tensor::Tensor> weights;
@@ -150,6 +166,7 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
     }
 
     bool active_now = true;
+    int world_active = cfg.workers;  // rank 0's view, for trace rows
     for (std::size_t pi = 0; pi < phases.size(); ++pi) {
       const auto& phase = phases[pi];
       const auto& map = phase.map;
@@ -159,6 +176,7 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
       // P2P migration of the running pipeline.
       if (phase.restart_active) {
         const auto& act = *phase.restart_active;
+        const auto restart_t0 = std::chrono::steady_clock::now();
         // 1a. Every rank — released ones included — ships the layers it
         // owns to rank 0 (an empty set for non-owners), which assembles
         // the Checkpoint and pushes it through the real binary format.
@@ -221,6 +239,23 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
         // 1c. The restart creates the collective communicator anew over
         // the whole world — exactly the fresh-NCCL-communicator step.
         coll = wcomm.split(active_now ? 0 : -1, rank);
+        if (rank == 0 && trace != nullptr) {
+          int after = 0;
+          for (const bool a : act) after += a ? 1 : 0;
+          telemetry::ElasticTransitionRow row;
+          row.iter = global_it;
+          row.kind = after < world_active ? "shrink" : "expand";
+          row.accepted = true;
+          row.workers_before = world_active;
+          row.workers_after = after;
+          // Measured wall stall of the whole gather/serialize/broadcast/
+          // reload/re-split sequence; the modeled breakdown terms stay 0.
+          row.stall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - restart_t0)
+                            .count();
+          trace->write_elastic_transition(row);
+          world_active = after;
+        }
       } else if (pi > 0 && active_now) {
         const auto& prev = phases[pi - 1].map;
         for (std::size_t l = 0; l < cfg.num_layers; ++l) {
@@ -235,6 +270,16 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
             send_tensor(wcomm, dst, kMigrationBase + static_cast<comm::Tag>(l),
                         it->second);
             stats.bytes_migrated += it->second.bytes();
+            if (trace != nullptr) {
+              telemetry::MigrationRow mrow;
+              mrow.iter = global_it;
+              mrow.trigger = "phase";
+              mrow.layer = static_cast<std::int64_t>(l);
+              mrow.from_stage = src;
+              mrow.to_stage = dst;
+              mrow.bytes = static_cast<double>(it->second.bytes());
+              trace->write_migration(mrow);
+            }
             weights.erase(it);
             stats.busy_s += std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - t0)
@@ -261,6 +306,18 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
             DYNMO_CHECK(weights.empty(),
                         "released worker still owns layers");
             active_now = false;
+          }
+          if (rank == 0 && trace != nullptr) {
+            int after = 0;
+            for (const bool a : *phase.active) after += a ? 1 : 0;
+            telemetry::ElasticTransitionRow row;
+            row.iter = global_it;
+            row.kind = "repack";
+            row.accepted = true;
+            row.workers_before = world_active;
+            row.workers_after = after;
+            trace->write_elastic_transition(row);
+            world_active = after;
           }
         } else {
           DYNMO_CHECK(!(*phase.active)[static_cast<std::size_t>(rank)],
@@ -304,6 +361,7 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
       const bool hosting = !map.stage_empty(rank);
       for (int it = 0; it < phase.iterations; ++it, ++global_it) {
         if (!hosting) continue;  // pass-through stages idle in this runtime
+        const auto iter_t0 = std::chrono::steady_clock::now();
         // Forward sweep over microbatches (GPipe-style data flow; real
         // pipelining emerges from message availability across threads).
         for (int mb = 0; mb < cfg.microbatches; ++mb) {
@@ -347,6 +405,18 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
           if (prev >= 0) send_tensor(wcomm, prev, kActBwdTag, g);
         }
         ++stats.iterations_run;
+        if (rank == 0 && trace != nullptr) {
+          // Measured per-iteration wall time from rank 0's perspective
+          // (this runtime has no modeled bottleneck/idleness — those
+          // columns stay 0, docs/TELEMETRY.md "Producers").
+          telemetry::IterationRow row;
+          row.iter = global_it;
+          row.time_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - iter_t0)
+                           .count();
+          row.active_workers = world_active;
+          trace->write_iteration(row);
+        }
       }
     }
 
@@ -417,6 +487,7 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
       report.weight_checksums[layer_ids[i]] = sums[i];
     }
   }
+  if (trace_storage) trace_storage->finalize();
   return report;
 }
 

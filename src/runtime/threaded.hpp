@@ -20,6 +20,7 @@
 
 #include "comm/communicator.hpp"
 #include "pipeline/stage_map.hpp"
+#include "telemetry/trace_writer.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dynmo::runtime {
@@ -33,6 +34,13 @@ struct ThreadedConfig {
   bool apply_weight_update = false;  ///< tiny SGD step per backward
   double learning_rate = 1e-3;
   std::uint64_t seed = 0x5eed;
+  /// Structured trace emission (docs/TELEMETRY.md): this runtime records
+  /// measured wall-clock, not modeled costs — iterations rows come from
+  /// rank 0 while it hosts layers (bottleneck/idleness stay 0), migrations
+  /// rows from each P2P sender (trigger "phase"), and every restart or
+  /// release phase lands in elastic_transitions with its measured stall.
+  /// The writer is shared across worker threads (it locks internally).
+  telemetry::TelemetryConfig telemetry{};
 };
 
 /// One phase of the scripted run: train `iterations` on `map`, after an

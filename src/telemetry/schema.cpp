@@ -1,0 +1,166 @@
+#include "telemetry/schema.hpp"
+
+#include <array>
+
+#include "core/error.hpp"
+
+namespace dynmo::telemetry {
+
+const char* to_string(ColumnType t) {
+  switch (t) {
+    case ColumnType::Int64: return "int64";
+    case ColumnType::Float64: return "float64";
+    case ColumnType::Bool: return "bool";
+    case ColumnType::String: return "string";
+    case ColumnType::ListFloat64: return "list<float64>";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::array kIterationColumns = {
+    ColumnSpec{"iter", ColumnType::Int64, "iteration",
+               "simulated iteration index (steps by sim_stride)"},
+    ColumnSpec{"time_s", ColumnType::Float64, "s",
+               "one iteration's pipeline makespan plus exposed DP time"},
+    ColumnSpec{"event_s", ColumnType::Float64, "s",
+               "one-off event time charged at this point (rebalance "
+               "overheads, migrations, restart stalls)"},
+    ColumnSpec{"bottleneck_s", ColumnType::Float64, "s",
+               "max over stages of the per-layer fwd+bwd seconds hosted — "
+               "the quantity replay reproduces bit-for-bit"},
+    ColumnSpec{"idleness", ColumnType::Float64, "1",
+               "average worker idleness of the pipeline timeline"},
+    ColumnSpec{"bubble_ratio", ColumnType::Float64, "1",
+               "pipeline bubble fraction"},
+    ColumnSpec{"active_workers", ColumnType::Int64, "workers",
+               "workers hosting at least the possibility of layers (post "
+               "re-pack/elastic)"},
+    ColumnSpec{"compute_fraction", ColumnType::Float64, "1",
+               "dynamism engine's remaining-compute estimate"},
+    ColumnSpec{"rebalanced", ColumnType::Bool, "1",
+               "a rebalance point fired at this iteration"},
+    ColumnSpec{"stall_s", ColumnType::Float64, "s",
+               "restart stall charged at this iteration (elastic "
+               "transitions; 0 otherwise)"},
+};
+
+constexpr std::array kStageLoadColumns = {
+    ColumnSpec{"iter", ColumnType::Int64, "iteration", "iteration index"},
+    ColumnSpec{"stage", ColumnType::Int64, "stage", "pipeline stage"},
+    ColumnSpec{"rank", ColumnType::Int64, "rank",
+               "global rank hosting the stage (dp=0 view; equals stage "
+               "without a deployment)"},
+    ColumnSpec{"layer_begin", ColumnType::Int64, "layer",
+               "first layer hosted by the stage"},
+    ColumnSpec{"layer_end", ColumnType::Int64, "layer",
+               "one past the last layer hosted"},
+    ColumnSpec{"load_s", ColumnType::Float64, "s",
+               "sum of the stage's per-layer fwd+bwd seconds (per "
+               "microbatch, the balancers' currency)"},
+    ColumnSpec{"mem_bytes", ColumnType::Float64, "bytes",
+               "sum of the stage's per-layer resident bytes (activation "
+               "residency under the map at iteration entry)"},
+    ColumnSpec{"layer_s", ColumnType::ListFloat64, "s",
+               "per-layer fwd+bwd seconds for [layer_begin, layer_end); "
+               "empty when per-layer recording is off"},
+    ColumnSpec{"layer_mem", ColumnType::ListFloat64, "bytes",
+               "per-layer resident bytes for [layer_begin, layer_end)"},
+};
+
+constexpr std::array kRebalanceDecisionColumns = {
+    ColumnSpec{"iter", ColumnType::Int64, "iteration", "iteration index"},
+    ColumnSpec{"trigger", ColumnType::String, "1",
+               "periodic | post_pack | post_restart"},
+    ColumnSpec{"algorithm", ColumnType::String, "1",
+               "partition | diffusion | hier_diffusion"},
+    ColumnSpec{"balance_by", ColumnType::String, "1", "time | param"},
+    ColumnSpec{"decision", ColumnType::String, "1",
+               "accepted | rejected_bottleneck | rejected_payoff"},
+    ColumnSpec{"projected_gain_s", ColumnType::Float64, "s",
+               "candidate's projected per-iteration bottleneck gain"},
+    ColumnSpec{"exposed_cost_s", ColumnType::Float64, "s",
+               "priced exposed migration cost the payoff rule weighed"},
+    ColumnSpec{"candidate_bytes", ColumnType::Float64, "bytes",
+               "bytes the candidate map would have moved"},
+    ColumnSpec{"migrated_bytes", ColumnType::Float64, "bytes",
+               "bytes actually moved (0 when rejected)"},
+    ColumnSpec{"migrated_layers", ColumnType::Int64, "layers",
+               "layer transfers in the executed plan"},
+    ColumnSpec{"imbalance_before", ColumnType::Float64, "1",
+               "load imbalance (paper Eq. 2) before"},
+    ColumnSpec{"imbalance_after", ColumnType::Float64, "1",
+               "load imbalance after"},
+    ColumnSpec{"decide_s", ColumnType::Float64, "s",
+               "measured decision wall-clock (machine-dependent)"},
+};
+
+constexpr std::array kMigrationColumns = {
+    ColumnSpec{"iter", ColumnType::Int64, "iteration", "iteration index"},
+    ColumnSpec{"trigger", ColumnType::String, "1",
+               "periodic | post_pack | post_restart | repack | phase"},
+    ColumnSpec{"layer", ColumnType::Int64, "layer", "migrated layer"},
+    ColumnSpec{"from_stage", ColumnType::Int64, "stage", "source stage"},
+    ColumnSpec{"to_stage", ColumnType::Int64, "stage", "destination stage"},
+    ColumnSpec{"bytes", ColumnType::Float64, "bytes",
+               "weights+grads+optimizer state moved (one DP replica)"},
+};
+
+constexpr std::array kElasticTransitionColumns = {
+    ColumnSpec{"iter", ColumnType::Int64, "iteration", "iteration index"},
+    ColumnSpec{"kind", ColumnType::String, "1", "repack | shrink | expand"},
+    ColumnSpec{"accepted", ColumnType::Bool, "1",
+               "false when wanted but rejected by the payoff gate"},
+    ColumnSpec{"workers_before", ColumnType::Int64, "workers",
+               "active workers before the transition"},
+    ColumnSpec{"workers_after", ColumnType::Int64, "workers",
+               "active workers after (the wanted target when rejected)"},
+    ColumnSpec{"stall_s", ColumnType::Float64, "s",
+               "total stall the transition charges (restart stall, or the "
+               "re-pack's migration wall-clock)"},
+    ColumnSpec{"alpha_s", ColumnType::Float64, "s",
+               "restart breakdown: job-manager round-trip + respawn"},
+    ColumnSpec{"bootstrap_s", ColumnType::Float64, "s",
+               "restart breakdown: binomial communicator bootstrap"},
+    ColumnSpec{"ckpt_write_s", ColumnType::Float64, "s",
+               "restart breakdown: busiest-shard checkpoint write"},
+    ColumnSpec{"ckpt_read_s", ColumnType::Float64, "s",
+               "restart breakdown: busiest-shard checkpoint reload"},
+    ColumnSpec{"projected_gain_s", ColumnType::Float64, "s",
+               "per-iteration gain (expand) or freed GPU-time (shrink/"
+               "repack) the payoff rule weighed"},
+    ColumnSpec{"migrated_bytes", ColumnType::Float64, "bytes",
+               "re-pack transfer bytes; restarts move none (checkpoint "
+               "reload instead)"},
+};
+
+constexpr std::array kTables = {
+    TableSpec{"iterations", "iterations.jsonl",
+              "one row per simulated iteration", kIterationColumns},
+    TableSpec{"stage_loads", "stage_loads.jsonl",
+              "one row per (iteration, stage) with per-layer detail",
+              kStageLoadColumns},
+    TableSpec{"rebalance_decisions", "rebalance_decisions.jsonl",
+              "every rebalance outcome with its accept/reject payoff math",
+              kRebalanceDecisionColumns},
+    TableSpec{"migrations", "migrations.jsonl",
+              "every executed layer transfer", kMigrationColumns},
+    TableSpec{"elastic_transitions", "elastic_transitions.jsonl",
+              "re-packs and elastic shrink/expand restarts with the "
+              "restart-stall breakdown",
+              kElasticTransitionColumns},
+};
+
+}  // namespace
+
+std::span<const TableSpec> table_specs() { return kTables; }
+
+const TableSpec& table_spec(std::string_view name) {
+  for (const auto& t : kTables) {
+    if (name == t.name) return t;
+  }
+  throw Error("unknown trace table: " + std::string(name));
+}
+
+}  // namespace dynmo::telemetry

@@ -1,0 +1,180 @@
+// Trace table schemas: the discovery half of the catalog+reader split.
+//
+// A session trace is a directory of columnar JSONL files — one file per
+// table, one JSON object per row — plus a catalog.json that enumerates
+// every table with its column names, types, and units (modeled on the
+// self-describing table functions of SNIPPETS.md §1: discovery first,
+// reading second, so tools never guess at layout).  Every row carries the
+// schema version under "_v"; readers reject rows from a different version
+// instead of silently misinterpreting them.
+//
+// The five tables (docs/TELEMETRY.md has the full column reference):
+//   iterations           one row per simulated iteration
+//   stage_loads          one row per (iteration, stage), with the
+//                        per-layer load/memory arrays replay feeds back
+//   rebalance_decisions  every RebalanceOutcome with its payoff math
+//   migrations           every planned layer transfer that was executed
+//   elastic_transitions  re-packs and elastic shrink/expand restarts,
+//                        with the restart-stall breakdown
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynmo::telemetry {
+
+/// Bumped whenever a column changes meaning or layout; readers refuse
+/// mismatched rows (forward compatibility is explicit, never silent).
+inline constexpr int kSchemaVersion = 1;
+inline constexpr const char* kTraceFormat = "dynmo-trace";
+inline constexpr const char* kCatalogFile = "catalog.json";
+
+enum class ColumnType { Int64, Float64, Bool, String, ListFloat64 };
+
+const char* to_string(ColumnType t);
+
+struct ColumnSpec {
+  const char* name;
+  ColumnType type;
+  const char* unit;  ///< "1" for dimensionless quantities
+  const char* description;
+};
+
+struct TableSpec {
+  const char* name;
+  const char* file;  ///< relative to the trace directory
+  const char* description;
+  std::span<const ColumnSpec> columns;
+};
+
+/// All tables a trace may contain, in catalog order.
+std::span<const TableSpec> table_specs();
+
+/// Lookup by name; throws dynmo::Error for an unknown table.
+const TableSpec& table_spec(std::string_view name);
+
+// ---------------------------------------------------------------- rows
+
+struct IterationRow {
+  std::int64_t iter = 0;
+  double time_s = 0.0;        ///< pipeline + exposed DP time, one iteration
+  double event_s = 0.0;       ///< one-off event time charged at this point
+  double bottleneck_s = 0.0;  ///< max per-stage sum of layer fwd+bwd seconds
+  double idleness = 0.0;
+  double bubble_ratio = 0.0;
+  std::int64_t active_workers = 0;
+  double compute_fraction = 1.0;
+  bool rebalanced = false;    ///< a rebalance point fired at this iteration
+  double stall_s = 0.0;       ///< restart stall charged at this iteration
+
+  bool operator==(const IterationRow&) const = default;
+};
+
+struct StageLoadRow {
+  std::int64_t iter = 0;
+  std::int64_t stage = 0;
+  std::int64_t rank = 0;  ///< global rank hosting the stage (dp=0 view)
+  std::int64_t layer_begin = 0;
+  std::int64_t layer_end = 0;
+  double load_s = 0.0;     ///< sum of the stage's per-layer fwd+bwd seconds
+  double mem_bytes = 0.0;  ///< sum of the stage's per-layer resident bytes
+  /// Per-layer detail (layers [layer_begin, layer_end)); concatenated over
+  /// the stages of one iteration these reconstruct the exact per-layer
+  /// profile the balancers saw — what balance::ReplayedLoads feeds back.
+  /// Empty when TelemetryConfig::per_layer is off.
+  std::vector<double> layer_s;
+  std::vector<double> layer_mem;
+
+  bool operator==(const StageLoadRow&) const = default;
+};
+
+struct RebalanceDecisionRow {
+  std::int64_t iter = 0;
+  std::string trigger;     ///< periodic | post_pack | post_restart
+  std::string algorithm;   ///< balance::to_string(Algorithm)
+  std::string balance_by;  ///< balance::to_string(BalanceBy)
+  std::string decision;    ///< balance::to_string(MapDecision)
+  double projected_gain_s = 0.0;
+  double exposed_cost_s = 0.0;
+  double candidate_bytes = 0.0;
+  double migrated_bytes = 0.0;
+  std::int64_t migrated_layers = 0;
+  double imbalance_before = 0.0;
+  double imbalance_after = 0.0;
+  double decide_s = 0.0;  ///< measured decision wall-clock (machine-dep.)
+
+  bool operator==(const RebalanceDecisionRow&) const = default;
+};
+
+struct MigrationRow {
+  std::int64_t iter = 0;
+  std::string trigger;  ///< periodic | post_pack | post_restart | repack | phase
+  std::int64_t layer = 0;
+  std::int64_t from_stage = 0;
+  std::int64_t to_stage = 0;
+  double bytes = 0.0;
+
+  bool operator==(const MigrationRow&) const = default;
+};
+
+struct ElasticTransitionRow {
+  std::int64_t iter = 0;
+  std::string kind;  ///< repack | shrink | expand
+  bool accepted = false;  ///< false → wanted but rejected by the payoff gate
+  std::int64_t workers_before = 0;
+  std::int64_t workers_after = 0;
+  /// Stall breakdown (docs/COST_MODEL.md "Restart-stall pricing"); repack
+  /// rows charge the migration wall-clock as stall_s with a zero breakdown.
+  double stall_s = 0.0;
+  double alpha_s = 0.0;
+  double bootstrap_s = 0.0;
+  double ckpt_write_s = 0.0;
+  double ckpt_read_s = 0.0;
+  double projected_gain_s = 0.0;
+  double migrated_bytes = 0.0;  ///< repack transfers; restarts move none
+
+  bool operator==(const ElasticTransitionRow&) const = default;
+};
+
+/// Run-level metadata recorded in catalog.json: everything offline replay
+/// needs to reconstruct the balancer configuration the session resolved
+/// (docs/TELEMETRY.md "Replay").
+struct RunInfo {
+  std::string producer;  ///< "session" | "threaded"
+  std::int64_t iterations = 0;
+  std::int64_t sim_stride = 1;
+  std::int64_t rebalance_interval = 0;
+  std::int64_t pipeline_stages = 0;
+  std::int64_t data_parallel = 1;
+  std::uint64_t seed = 0;
+  std::string mode;
+  std::string algorithm;
+  std::string balance_by;
+  double mem_capacity = 0.0;
+  double min_bottleneck_gain = 0.0;
+  double payoff_window_iters = 0.0;
+  double migration_cost_multiplier = 1.0;
+  double migration_exposed_fraction = 1.0;
+  double gamma = 0.0;
+  std::vector<int> stage_to_rank;    ///< empty → stage s is rank s
+  std::vector<double> capacities;    ///< empty → uniform
+  std::vector<double> layer_params;  ///< static per-layer parameter counts
+};
+
+/// Telemetry knob embedded in runtime configs: disabled (and zero-cost)
+/// unless a trace directory is set.
+struct TelemetryConfig {
+  /// Trace output directory; created (parents included) on first use,
+  /// existing table files truncated.  Empty → telemetry fully disabled.
+  std::string dir;
+  /// Record the per-layer arrays in stage_loads (required for replay;
+  /// turn off to shrink traces when only stage totals are wanted).
+  bool per_layer = true;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+}  // namespace dynmo::telemetry

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/error.hpp"
+#include "core/log.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/units.hpp"
@@ -154,6 +155,52 @@ TEST(Units, FormatBytes) {
 TEST(Units, FormatSeconds) {
   EXPECT_EQ(format_seconds(0.002), "2 ms");
   EXPECT_EQ(format_seconds(3.0), "3 s");
+}
+
+TEST(Log, SinkCapturesFormattedLines) {
+  std::vector<std::string> lines;
+  Logger::instance().set_sink(
+      [&lines](LogLevel, std::string_view line) { lines.emplace_back(line); });
+  const LogLevel before = Logger::instance().level();
+  Logger::instance().set_level(LogLevel::Info);
+  DYNMO_LOG(Info) << "captured " << 7;
+  DYNMO_LOG(Debug) << "below the level, dropped";
+  Logger::instance().set_level(before);
+  Logger::instance().set_sink({});  // restore stderr
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("[dynmo INFO "), std::string::npos);
+  EXPECT_NE(lines[0].find("captured 7"), std::string::npos);
+}
+
+TEST(Log, PrefixIsIso8601Utc) {
+  std::vector<std::string> lines;
+  Logger::instance().set_sink(
+      [&lines](LogLevel, std::string_view line) { lines.emplace_back(line); });
+  const LogLevel before = Logger::instance().level();
+  Logger::instance().set_level(LogLevel::Warn);
+  DYNMO_LOG(Warn) << "stamp check";
+  Logger::instance().set_level(before);
+  Logger::instance().set_sink({});
+
+  ASSERT_EQ(lines.size(), 1u);
+  // 2026-08-08T12:34:56.789Z — fixed-width ISO-8601 with milliseconds.
+  const std::string& l = lines[0];
+  ASSERT_GE(l.size(), 24u);
+  EXPECT_EQ(l[4], '-');
+  EXPECT_EQ(l[7], '-');
+  EXPECT_EQ(l[10], 'T');
+  EXPECT_EQ(l[13], ':');
+  EXPECT_EQ(l[16], ':');
+  EXPECT_EQ(l[19], '.');
+  EXPECT_EQ(l[23], 'Z');
+  for (int i : {0, 1, 2, 3, 5, 6, 8, 9, 11, 12, 14, 15, 17, 18, 20, 21, 22}) {
+    EXPECT_TRUE(l[static_cast<std::size_t>(i)] >= '0' &&
+                l[static_cast<std::size_t>(i)] <= '9')
+        << "position " << i << " in " << l;
+  }
+  EXPECT_EQ(l[24], ' ');
+  EXPECT_NE(l.find("[dynmo WARN "), std::string::npos);
 }
 
 TEST(Error, CheckThrowsWithContext) {
