@@ -6,6 +6,7 @@
 #   bench/BENCH_fig4_repack.json       (forced + automatic re-packing)
 #   bench/BENCH_payoff_window.json     (payoff acceptance vs. cadence)
 #   bench/BENCH_elastic.json           (elastic shrink/expand thresholds)
+#   bench/BENCH_fleet.json             (fleet arbiter vs static equal-split)
 #   bench/BENCH_trace_overhead.json    (telemetry observer-effect gate)
 #   bench/BENCH_fig3_<use_case>.json   (the six Figure-3 panels)
 # with the current aggregates.  All bench arithmetic is deterministic
@@ -25,6 +26,7 @@ BENCHES=(
   fig4_repack
   payoff_window
   elastic
+  fleet
   trace_overhead
   fig3_early_exit
   fig3_freezing

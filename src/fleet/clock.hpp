@@ -1,0 +1,64 @@
+// Event-driven fleet clock (docs/FLEET.md "The fleet clock").
+//
+// The arbiter interleaves N training sessions on simulated time: each
+// session advances one sim_stride window per event, and the next window
+// is scheduled at now + the wall-clock seconds the last one covered.
+// Determinism matters more than sophistication here — the bench commits
+// its numbers — so events are totally ordered by (time_s, seq): ties on
+// the clock break by insertion order, never by heap internals, pointer
+// values, or the host's wall clock.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dynmo::fleet {
+
+/// One scheduled occurrence: a job arrival (phase Pending) or a running
+/// session's next stepping window becoming due.
+struct Event {
+  double time_s = 0.0;
+  std::int64_t seq = 0;  ///< insertion order, the deterministic tie-break
+  int job = -1;          ///< index into the arbiter's job table
+};
+
+class EventClock {
+ public:
+  /// Schedule `job` at `time_s`; scheduling into the past is a bug (the
+  /// fleet would travel backwards through states it already priced).
+  void push(double time_s, int job) {
+    DYNMO_CHECK(time_s >= now_, "event for job " << job << " at "
+                                << time_s << "s is before the fleet clock ("
+                                << now_ << "s)");
+    heap_.push(Event{time_s, seq_++, job});
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+  /// Pop the earliest event and advance the clock to it.
+  Event pop() {
+    DYNMO_CHECK(!heap_.empty(), "pop on an empty fleet clock");
+    Event e = heap_.top();
+    heap_.pop();
+    now_ = e.time_s;
+    return e;
+  }
+
+  double now() const { return now_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_s != b.time_s) return a.time_s > b.time_s;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::int64_t seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace dynmo::fleet

@@ -1,0 +1,43 @@
+#include "fleet/fairness.hpp"
+
+#include "core/error.hpp"
+
+namespace dynmo::fleet {
+
+std::vector<int> weighted_max_min_shares(int capacity,
+                                         std::span<const ShareClaim> claims) {
+  DYNMO_CHECK(capacity >= 0, "negative pool capacity " << capacity);
+  std::vector<int> share(claims.size(), 0);
+  int left = capacity;
+  for (std::size_t i = 0; i < claims.size(); ++i) {
+    const ShareClaim& c = claims[i];
+    DYNMO_CHECK(c.weight > 0.0,
+                "claim " << i << " has non-positive weight " << c.weight);
+    DYNMO_CHECK(c.floor_gpus >= 0 && c.cap_gpus >= c.floor_gpus,
+                "claim " << i << " has floor " << c.floor_gpus
+                         << " above cap " << c.cap_gpus);
+    share[i] = c.floor_gpus;
+    left -= c.floor_gpus;
+  }
+  DYNMO_CHECK(left >= 0,
+              "fair-share floors exceed the pool (" << capacity << " GPUs)");
+
+  while (left > 0) {
+    int best = -1;
+    double best_level = 0.0;
+    for (std::size_t i = 0; i < claims.size(); ++i) {
+      if (share[i] >= claims[i].cap_gpus) continue;
+      const double level = share[i] / claims[i].weight;
+      if (best < 0 || level < best_level) {
+        best = static_cast<int>(i);
+        best_level = level;
+      }
+    }
+    if (best < 0) break;  // everyone capped; the remainder stays free
+    ++share[best];
+    --left;
+  }
+  return share;
+}
+
+}  // namespace dynmo::fleet

@@ -1,0 +1,33 @@
+// Weighted max-min fairness over an integer GPU pool (docs/FLEET.md
+// "Fair shares").
+//
+// The arbiter gates every grow and sizes every admission against these
+// shares: a job is entitled to the allocation water-filling gives it, and
+// anything above that is granted only from genuine slack (work
+// conservation) or taken back when someone below share shows up.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dynmo::fleet {
+
+/// One job's claim on the pool for fair-share purposes.
+struct ShareClaim {
+  double weight = 1.0;  ///< relative entitlement (must be > 0)
+  int floor_gpus = 0;   ///< granted before any water-filling (job minimum)
+  int cap_gpus = 0;     ///< never allocated past this (job ceiling)
+};
+
+/// Weighted max-min fair integer shares of `capacity` GPUs.
+///
+/// Floors are granted first (they must fit — the arbiter only admits jobs
+/// whose minima fit the pool), then the remainder is water-filled one GPU
+/// at a time to the claim with the smallest share/weight still below its
+/// cap, ties to the lowest index.  The result is the unique weighted
+/// max-min allocation up to integer rounding; leftover capacity (everyone
+/// capped) stays free.
+std::vector<int> weighted_max_min_shares(int capacity,
+                                         std::span<const ShareClaim> claims);
+
+}  // namespace dynmo::fleet

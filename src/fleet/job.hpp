@@ -1,0 +1,60 @@
+// Fleet job registry types (docs/FLEET.md "The job table").
+//
+// A job is a whole elastic training session competing for the shared GPU
+// pool: a priority class, a fair-share weight, a [min, max] footprint,
+// and a factory that materializes its runtime::TrainingSession once the
+// arbiter admits it at some granted worker count.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "repack/elastic.hpp"
+#include "runtime/session.hpp"
+
+namespace dynmo::fleet {
+
+/// Builds the job's session at admission time.  `initial_workers` is the
+/// admission grant (min_gpus <= grant <= max_gpus); `cluster` is the
+/// arbiter itself, to be wired into SessionConfig::elastic.cluster.  The
+/// factory must configure the session coherently with its JobSpec:
+///   - pipeline_stages = max_gpus (the cost surfaces' ceiling),
+///   - initial_active_workers = initial_workers,
+///   - elastic.enabled = true, elastic.cluster = cluster,
+///   - elastic.pod = the JobSpec's name (the arbiter routes PATCHes by
+///     pod name and rejects unknown pods),
+///   - elastic.min_workers = min_gpus (preemption shrinks to this floor).
+/// Anything the session references but does not own (model, dynamism
+/// engine) must be kept alive by state captured in the factory closure —
+/// the arbiter holds the factory until the job finishes.
+using SessionFactory =
+    std::function<std::unique_ptr<runtime::TrainingSession>(
+        int initial_workers, repack::ControlPlane* cluster)>;
+
+struct JobSpec {
+  std::string name;     ///< pod name, unique within the fleet
+  int priority = 0;     ///< higher preempts strictly lower (docs/FLEET.md)
+  double weight = 1.0;  ///< weighted max-min fair-share entitlement
+  int min_gpus = 1;     ///< below this the job cannot run at all
+  int max_gpus = 0;     ///< footprint ceiling (= session pipeline_stages)
+  double arrival_s = 0.0;  ///< fleet-clock time the job shows up
+  SessionFactory factory;
+};
+
+/// Where a job is in its lifecycle: waiting for an admissible grant,
+/// training, or done (its SessionResult captured in the outcome).
+enum class JobPhase { Pending, Running, Finished };
+
+struct JobOutcome {
+  std::string name;
+  int priority = 0;
+  double arrival_s = 0.0;
+  double admitted_s = 0.0;   ///< fleet clock at admission
+  double finished_s = 0.0;   ///< fleet clock when the session completed
+  int admitted_gpus = 0;     ///< the admission grant
+  int preemptions = 0;       ///< times this job was forced to shrink
+  runtime::SessionResult result;
+};
+
+}  // namespace dynmo::fleet

@@ -12,18 +12,21 @@ int MockEckCluster::patch_pod(const PatchRequest& req) {
   if (req.gpus_requested < 0 || req.gpus_requested != req.gpus_limit) {
     return 422;  // unprocessable: requests/limits must agree for GPUs
   }
-  if (!saw_first_patch_) {
-    // First PATCH establishes the pod's baseline claim.
-    allocated_ = req.gpus_requested;
-    saw_first_patch_ = true;
+  auto it = allocated_.find(req.pod);
+  if (it == allocated_.end()) {
+    // First PATCH establishes this pod's baseline claim (admission is the
+    // scheduler's job — see the class comment).
+    allocated_.emplace(req.pod, req.gpus_requested);
     patches_.push_back(req);
     return 200;
   }
-  if (req.gpus_requested > allocated_ + free_gpus_) {
+  // Resizes are priced as a per-pod delta under the lock, so concurrent
+  // grow claims from different pods can never sum past what is free.
+  if (req.gpus_requested > it->second + free_gpus_) {
     return 409;  // conflict: cannot grow beyond what's free
   }
-  const int delta = allocated_ - req.gpus_requested;
-  allocated_ = req.gpus_requested;
+  const int delta = it->second - req.gpus_requested;
+  it->second = req.gpus_requested;
   free_gpus_ += delta;
   patches_.push_back(req);
   DYNMO_LOG(Info) << "ECK: pod " << req.pod << " resized to "
@@ -44,7 +47,7 @@ int MockEckCluster::schedule_pending_job(int wanted) {
   return granted;
 }
 
-JobManagerClient::JobManagerClient(MockEckCluster* cluster,
+JobManagerClient::JobManagerClient(ControlPlane* cluster,
                                    std::string pod_name, int initial_gpus)
     : cluster_(cluster), pod_(std::move(pod_name)), claimed_(initial_gpus) {
   DYNMO_CHECK(cluster_ != nullptr, "null cluster");

@@ -5,10 +5,12 @@
 // analogue — and (b) be returned to the cluster manager.  The paper
 // integrates with ECK (Elastic Cloud on Kubernetes) by PATCHing the pod
 // spec's resource requests/limits; JobManagerClient reproduces that
-// handshake against an in-process mock API server so the full release state
-// machine is exercised.
+// handshake against a ControlPlane — an in-process mock API server
+// (MockEckCluster) or the multi-tenant fleet::Arbiter (docs/FLEET.md) —
+// so the full release state machine is exercised either way.
 #pragma once
 
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -25,18 +27,47 @@ struct PatchRequest {
   int gpus_limit = 0;      ///< new resources.limits["nvidia.com/gpu"]
 };
 
+/// The GPU control plane a job PATCHes its claim against.  Implementations:
+/// MockEckCluster (below, the degenerate trust-every-baseline backend) and
+/// fleet::Arbiter (priorities + fairness + preemption across N jobs).
+///
+/// Contract every implementation must keep:
+///   - `patch_pod` returns an HTTP-ish status: 200 granted, 409 conflict
+///     (the grow lost a race or was denied by policy — the claimant stays
+///     on its current footprint), 422 malformed.
+///   - The first PATCH a pod issues establishes its baseline claim;
+///     admission control for baselines is the control plane's business.
+///   - Shrinking PATCHes always succeed (releasing capacity is never
+///     refused); the released GPUs become visible through `free_gpus()`.
+///   - Grants are atomic: concurrent grow claims can never sum past the
+///     capacity that was actually free.
+class ControlPlane {
+ public:
+  virtual ~ControlPlane() = default;
+
+  /// Handle a PATCH; returns HTTP-ish status code (200 on success).
+  virtual int patch_pod(const PatchRequest& req) = 0;
+
+  /// GPUs not currently claimed by any pod (schedulable capacity).
+  virtual int free_gpus() const = 0;
+
+  virtual int total_gpus() const = 0;
+};
+
 /// In-process stand-in for the ECK-managed Kubernetes control plane.
-/// Freed GPUs become schedulable for "pending jobs" (a counter here).
-class MockEckCluster {
+/// Tracks one claim per pod name; freed GPUs become schedulable for
+/// "pending jobs" (a counter here).  Baseline claims (a pod's first PATCH)
+/// are trusted unconditionally — admission is the scheduler's job, and
+/// this mock has none; the fleet::Arbiter is the backend that does.
+class MockEckCluster : public ControlPlane {
  public:
   explicit MockEckCluster(int total_gpus) : free_gpus_(0),
                                             total_gpus_(total_gpus) {}
 
-  /// Handle a PATCH; returns HTTP-ish status code (200 on success).
-  int patch_pod(const PatchRequest& req);
+  int patch_pod(const PatchRequest& req) override;
 
-  int free_gpus() const;
-  int total_gpus() const { return total_gpus_; }
+  int free_gpus() const override;
+  int total_gpus() const override { return total_gpus_; }
   const std::vector<PatchRequest>& patches() const { return patches_; }
 
   /// A pending job grabs up to n GPUs; returns how many it got.
@@ -45,15 +76,14 @@ class MockEckCluster {
  private:
   mutable std::mutex mu_;
   std::vector<PatchRequest> patches_;
-  int allocated_ = 0;  ///< GPUs currently claimed by our training pod
+  std::map<std::string, int> allocated_;  ///< current claim per pod
   int free_gpus_;
   int total_gpus_;
-  bool saw_first_patch_ = false;
 };
 
 class JobManagerClient {
  public:
-  JobManagerClient(MockEckCluster* cluster, std::string pod_name,
+  JobManagerClient(ControlPlane* cluster, std::string pod_name,
                    int initial_gpus);
 
   /// Resize this pod's GPU claim to `gpus`, in either direction: released
@@ -64,9 +94,10 @@ class JobManagerClient {
   bool resize_gpu_claim(int gpus);
 
   int claimed_gpus() const { return claimed_; }
+  const std::string& pod() const { return pod_; }
 
  private:
-  MockEckCluster* cluster_;
+  ControlPlane* cluster_;
   std::string pod_;
   int claimed_;
 };

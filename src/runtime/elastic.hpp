@@ -77,10 +77,11 @@ struct ElasticConfig {
   /// Per-worker checkpoint shard write/read bandwidth (parallel FS).
   double checkpoint_bw = 4.0 * 1024.0 * 1024.0 * 1024.0;
 
-  /// External control plane to shrink into / expand from; null → the
-  /// controller owns a private MockEckCluster sized to `max_workers` (the
-  /// job can then only reclaim GPUs it released itself).
-  repack::MockEckCluster* cluster = nullptr;
+  /// External control plane to shrink into / expand from — a
+  /// repack::MockEckCluster or a fleet::Arbiter (docs/FLEET.md); null →
+  /// the controller owns a private MockEckCluster sized to `max_workers`
+  /// (the job can then only reclaim GPUs it released itself).
+  repack::ControlPlane* cluster = nullptr;
   std::string pod = "dynmo-train";
 };
 
@@ -151,8 +152,9 @@ class ElasticController {
     return restart_stall(before, after, state_bytes).total_s();
   }
 
-  const repack::MockEckCluster& cluster() const { return *cluster_; }
+  const repack::ControlPlane& cluster() const { return *cluster_; }
   int claimed_workers() const { return job_.claimed_gpus(); }
+  int min_workers() const { return cfg_.min_workers; }
   int max_workers() const { return max_workers_; }
 
  private:
@@ -160,7 +162,7 @@ class ElasticController {
   int max_workers_;
   BootstrapLinkFn bootstrap_link_;
   std::optional<repack::MockEckCluster> owned_cluster_;
-  repack::MockEckCluster* cluster_;
+  repack::ControlPlane* cluster_;
   repack::JobManagerClient job_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "balance/partition.hpp"
 #include "cluster/hier_balancer.hpp"
 #include "core/error.hpp"
 #include "core/log.hpp"
@@ -82,6 +83,31 @@ const char* to_string(BalancingMode m) {
   return "?";
 }
 
+/// Everything run() used to keep as loop locals, so the session can be
+/// advanced one sim_stride window at a time (the fleet arbiter interleaves
+/// N sessions this way).  run() loops over the same state, so a solo run
+/// behaves exactly as before the stepping split.
+struct TrainingSession::Run {
+  std::vector<model::LayerState> states;
+  pipeline::StageMap map;
+  int active = 0;
+  int initial_workers = 0;  ///< gpu_hours_saved baseline (W0)
+  std::int64_t interval = 0;
+  double mem_capacity = 0.0;
+  double replica_mirror = 1.0;
+  balance::RebalanceConfig rb_cfg;
+  std::optional<balance::Rebalancer> rebalancer;
+  std::optional<telemetry::TraceWriter> trace;
+  std::optional<ElasticController> elastic;
+  Rng noise_rng;
+  SessionResult res;
+  RunningStats idleness_stats;
+  RunningStats bubble_stats;
+  RunningStats workers_stats;
+  std::int64_t iter = 0;
+  int pending_shrink = 0;  ///< request_shrink() target; 0 → none queued
+};
+
 TrainingSession::TrainingSession(const model::ModelDesc& model,
                                  SessionConfig cfg,
                                  dynamic::DynamismEngine* engine)
@@ -111,6 +137,16 @@ TrainingSession::TrainingSession(const model::ModelDesc& model,
                   cfg.elastic.max_workers == cfg.pipeline_stages,
               "the session's cost surfaces are sized to pipeline_stages; "
               "elastic.max_workers must stay 0 (or equal)");
+  DYNMO_CHECK(cfg.initial_active_workers >= 0 &&
+                  cfg.initial_active_workers <= cfg.pipeline_stages,
+              "initial_active_workers " << cfg.initial_active_workers
+                                        << " outside [0, "
+                                        << cfg.pipeline_stages << "]");
+  DYNMO_CHECK(cfg.initial_active_workers == 0 ||
+                  cfg.initial_active_workers == cfg.pipeline_stages ||
+                  cfg.elastic.enabled,
+              "a session starting below pipeline_stages needs "
+              "elastic.enabled to grow back");
   if (cfg.elastic.enabled) {
     // The elastic step consumes the rebalance-point profile, so its
     // cadence must land on simulated rebalance points — otherwise the
@@ -138,6 +174,8 @@ TrainingSession::TrainingSession(const model::ModelDesc& model,
   }
 }
 
+TrainingSession::~TrainingSession() = default;
+
 double TrainingSession::stage_mem_capacity(int stage) const {
   if (!deployment_) return cfg_.gpu.mem_capacity;
   // A stage's layers live on every replica; the smallest hosting GPU gates.
@@ -159,6 +197,11 @@ std::int64_t TrainingSession::effective_rebalance_interval() const {
   if (cfg_.rebalance_interval > 0) return cfg_.rebalance_interval;
   if (engine_ != nullptr) return engine_->recommended_rebalance_interval();
   return 0;
+}
+
+int TrainingSession::resolved_initial_workers() const {
+  return cfg_.initial_active_workers > 0 ? cfg_.initial_active_workers
+                                         : cfg_.pipeline_stages;
 }
 
 comm::RankGroup TrainingSession::synthetic_dp_group(int stage) const {
@@ -227,17 +270,113 @@ void TrainingSession::apply_tutel_mitigation(
   }
 }
 
-SessionResult TrainingSession::run() {
+balance::Rebalancer TrainingSession::make_rebalancer(int stages) const {
+  // Re-packing shrinks the pipeline to its leading stages, so the
+  // per-stage vectors are truncated to the surviving count (a fresh
+  // orchestrator is cheap — the cost model is shared state).
+  balance::RebalanceConfig c = run_->rb_cfg;
+  if (!c.stage_to_rank.empty()) {
+    c.stage_to_rank.resize(static_cast<std::size_t>(stages));
+  }
+  if (!c.capacities.empty()) {
+    c.capacities.resize(static_cast<std::size_t>(stages));
+  }
+  return balance::Rebalancer(c, net_);
+}
+
+void TrainingSession::emit_migration_rows(std::int64_t iter,
+                                          const char* trigger,
+                                          const balance::MigrationPlan& plan) {
+  auto& trace = run_->trace;
+  if (!trace) return;
+  for (const auto& t : plan.transfers) {
+    telemetry::MigrationRow row;
+    row.iter = iter;
+    row.trigger = trigger;
+    row.layer = static_cast<std::int64_t>(t.layer);
+    row.from_stage = t.src_stage;
+    row.to_stage = t.dst_stage;
+    row.bytes = t.bytes;
+    trace->write_migration(row);
+  }
+}
+
+void TrainingSession::record_migration_split(
+    const balance::MigrationPlan& plan, double scale) {
+  if (!deployment_ || plan.empty()) return;
+  // A layer move is mirrored in every DP replica (each replica holds the
+  // same layers and migrates them between its own stages), and replicas
+  // may straddle node boundaries differently — classify each one.
+  auto& res = run_->res;
+  for (int d = 0; d < deployment_->data_parallel(); ++d) {
+    const auto split = cluster::classify_migration(
+        plan, deployment_->topology(), deployment_->stage_to_rank(d));
+    res.intra_node_migration_bytes += split.intra_node_bytes * scale;
+    res.inter_node_migration_bytes += split.inter_node_bytes * scale;
+  }
+}
+
+// Every rebalance outcome — the periodic one and the post-pack polish —
+// flows through the same accounting: issued bytes into the node-split
+// counters, the accept/reject decision into the map counters, rejected
+// candidates' traffic into migration_bytes_avoided.
+void TrainingSession::account_outcome(const balance::RebalanceOutcome& outcome,
+                                      double scale, std::int64_t iter,
+                                      const char* trigger) {
+  auto& R = *run_;
+  record_migration_split(outcome.migration, scale);
+  switch (outcome.decision) {
+    case balance::MapDecision::Accepted:
+      if (!outcome.migration.empty()) ++R.res.maps_accepted;
+      break;
+    case balance::MapDecision::RejectedBottleneck:
+      ++R.res.maps_rejected_bottleneck;
+      R.res.migration_bytes_avoided +=
+          outcome.candidate_bytes * R.replica_mirror * scale;
+      break;
+    case balance::MapDecision::RejectedPayoff:
+      ++R.res.maps_rejected_payoff;
+      R.res.migration_bytes_avoided +=
+          outcome.candidate_bytes * R.replica_mirror * scale;
+      break;
+  }
+  if (R.trace) {
+    telemetry::RebalanceDecisionRow row;
+    row.iter = iter;
+    row.trigger = trigger;
+    row.algorithm = balance::to_string(R.rb_cfg.algorithm);
+    row.balance_by = balance::to_string(R.rb_cfg.by);
+    row.decision = balance::to_string(outcome.decision);
+    row.projected_gain_s = outcome.projected_gain_s;
+    row.exposed_cost_s = outcome.exposed_cost_s;
+    row.candidate_bytes = outcome.candidate_bytes;
+    row.migrated_bytes = outcome.migration.total_bytes();
+    row.migrated_layers =
+        static_cast<std::int64_t>(outcome.migration.transfers.size());
+    row.imbalance_before = outcome.imbalance_before;
+    row.imbalance_after = outcome.imbalance_after;
+    row.decide_s = outcome.overhead.decide_s;
+    R.trace->write_rebalance_decision(row);
+    emit_migration_rows(iter, trigger, outcome.migration);
+  }
+}
+
+void TrainingSession::start() {
+  DYNMO_CHECK(run_ == nullptr, "session already started");
+  run_ = std::make_unique<Run>();
+  auto& R = *run_;
   const int S0 = cfg_.pipeline_stages;
+  const int W0 = resolved_initial_workers();
+  R.initial_workers = W0;
   // Conservative per-worker cap: the smallest stage GPU gates feasibility
   // of maps the balancers and the packer may produce.
-  const double mem_capacity =
+  R.mem_capacity =
       deployment_ ? deployment_->min_mem_capacity() : cfg_.gpu.mem_capacity;
 
-  std::vector<model::LayerState> states(model_->num_layers());
+  R.states.assign(model_->num_layers(), model::LayerState{});
 
-  // Initial static placement.
-  pipeline::StageMap map;
+  // Initial static placement (over the starting footprint — W0 < S0 only
+  // under elastic, where the map grows back exactly as after a shrink).
   switch (cfg_.mode) {
     case BalancingMode::StaticParam: {
       std::vector<double> params;
@@ -245,25 +384,25 @@ SessionResult TrainingSession::run() {
       for (const auto& l : model_->layers) {
         params.push_back(static_cast<double>(l.params));
       }
-      map = pipeline::StageMap::greedy_by_weight(params, S0);
+      R.map = pipeline::StageMap::greedy_by_weight(params, W0);
       break;
     }
     default:
-      map = pipeline::StageMap::uniform(model_->num_layers(), S0);
+      R.map = pipeline::StageMap::uniform(model_->num_layers(), W0);
       break;
   }
-  int active = S0;
+  R.active = W0;
 
-  const std::int64_t interval = effective_rebalance_interval();
+  R.interval = effective_rebalance_interval();
   // Migration traffic (issued or avoided) is mirrored in every DP replica
-  // of a grid deployment — same rule as record_migration_split below.
-  const double replica_mirror =
+  // of a grid deployment — same rule as record_migration_split.
+  R.replica_mirror =
       deployment_ ? static_cast<double>(deployment_->data_parallel()) : 1.0;
 
-  balance::RebalanceConfig rb_cfg;
+  balance::RebalanceConfig& rb_cfg = R.rb_cfg;
   rb_cfg.algorithm = cfg_.algorithm;
   rb_cfg.by = cfg_.balance_by;
-  rb_cfg.mem_capacity = mem_capacity;
+  rb_cfg.mem_capacity = R.mem_capacity;
   rb_cfg.min_bottleneck_gain = cfg_.min_bottleneck_gain;
   rb_cfg.payoff_window_iters = cfg_.payoff_window_iters;
   // Every replica transfers its own copy of a migrated layer and the
@@ -271,7 +410,7 @@ SessionResult TrainingSession::run() {
   // DP width; every-iteration cadences hide most of the transfer under
   // backprop (§3.3.1) and only the remainder weighs against the gain.
   rb_cfg.migration_cost_multiplier = static_cast<double>(cfg_.data_parallel);
-  if (interval == 1) {
+  if (R.interval == 1) {
     rb_cfg.migration_exposed_fraction =
         1.0 - std::clamp(cfg_.migration_overlap, 0.0, 1.0);
   }
@@ -298,7 +437,7 @@ SessionResult TrainingSession::run() {
       // remainder of the transfer.
       hier_cfg.migration_cost_multiplier *=
           static_cast<double>(cfg_.data_parallel);
-      if (interval == 1) {
+      if (R.interval == 1) {
         hier_cfg.migration_cost_multiplier *=
             1.0 - std::clamp(cfg_.migration_overlap, 0.0, 1.0);
       }
@@ -317,25 +456,11 @@ SessionResult TrainingSession::run() {
           };
     }
   }
-  // Re-packing shrinks the pipeline to its leading stages, so the
-  // per-stage vectors are truncated to the surviving count (a fresh
-  // orchestrator is cheap — the cost model is shared state).
-  const auto make_rebalancer = [&](int stages) {
-    balance::RebalanceConfig c = rb_cfg;
-    if (!c.stage_to_rank.empty()) {
-      c.stage_to_rank.resize(static_cast<std::size_t>(stages));
-    }
-    if (!c.capacities.empty()) {
-      c.capacities.resize(static_cast<std::size_t>(stages));
-    }
-    return balance::Rebalancer(c, net_);
-  };
-  balance::Rebalancer rebalancer = make_rebalancer(S0);
+  R.rebalancer.emplace(make_rebalancer(W0));
 
   // Structured trace emission (docs/TELEMETRY.md).  The writer observes the
   // run and never feeds back into it: every decision below is taken on the
   // same values with or without a trace attached.
-  std::optional<telemetry::TraceWriter> trace;
   if (cfg_.telemetry.enabled()) {
     telemetry::RunInfo info;
     info.producer = "session";
@@ -344,7 +469,7 @@ SessionResult TrainingSession::run() {
     // Non-DynMo modes never rebalance; recording 0 keeps offline replay of
     // their traces on the static-map path.
     info.rebalance_interval =
-        cfg_.mode == BalancingMode::DynMo ? interval : 0;
+        cfg_.mode == BalancingMode::DynMo ? R.interval : 0;
     info.pipeline_stages = cfg_.pipeline_stages;
     info.data_parallel = cfg_.data_parallel;
     info.seed = cfg_.seed;
@@ -363,81 +488,8 @@ SessionResult TrainingSession::run() {
     for (const auto& l : model_->layers) {
       info.layer_params.push_back(static_cast<double>(l.params));
     }
-    trace.emplace(cfg_.telemetry, std::move(info));
+    R.trace.emplace(cfg_.telemetry, std::move(info));
   }
-
-  const auto emit_migration_rows = [&](std::int64_t iter, const char* trigger,
-                                       const balance::MigrationPlan& plan) {
-    if (!trace) return;
-    for (const auto& t : plan.transfers) {
-      telemetry::MigrationRow row;
-      row.iter = iter;
-      row.trigger = trigger;
-      row.layer = static_cast<std::int64_t>(t.layer);
-      row.from_stage = t.src_stage;
-      row.to_stage = t.dst_stage;
-      row.bytes = t.bytes;
-      trace->write_migration(row);
-    }
-  };
-
-  const auto record_migration_split = [&](const balance::MigrationPlan& plan,
-                                          double scale, SessionResult& res) {
-    if (!deployment_ || plan.empty()) return;
-    // A layer move is mirrored in every DP replica (each replica holds the
-    // same layers and migrates them between its own stages), and replicas
-    // may straddle node boundaries differently — classify each one.
-    for (int d = 0; d < deployment_->data_parallel(); ++d) {
-      const auto split = cluster::classify_migration(
-          plan, deployment_->topology(), deployment_->stage_to_rank(d));
-      res.intra_node_migration_bytes += split.intra_node_bytes * scale;
-      res.inter_node_migration_bytes += split.inter_node_bytes * scale;
-    }
-  };
-
-  // Every rebalance outcome — the periodic one and the post-pack polish —
-  // flows through the same accounting: issued bytes into the node-split
-  // counters, the accept/reject decision into the map counters, rejected
-  // candidates' traffic into migration_bytes_avoided.
-  const auto account_outcome = [&](const balance::RebalanceOutcome& outcome,
-                                   double scale, SessionResult& res,
-                                   std::int64_t iter, const char* trigger) {
-    record_migration_split(outcome.migration, scale, res);
-    switch (outcome.decision) {
-      case balance::MapDecision::Accepted:
-        if (!outcome.migration.empty()) ++res.maps_accepted;
-        break;
-      case balance::MapDecision::RejectedBottleneck:
-        ++res.maps_rejected_bottleneck;
-        res.migration_bytes_avoided +=
-            outcome.candidate_bytes * replica_mirror * scale;
-        break;
-      case balance::MapDecision::RejectedPayoff:
-        ++res.maps_rejected_payoff;
-        res.migration_bytes_avoided +=
-            outcome.candidate_bytes * replica_mirror * scale;
-        break;
-    }
-    if (trace) {
-      telemetry::RebalanceDecisionRow row;
-      row.iter = iter;
-      row.trigger = trigger;
-      row.algorithm = balance::to_string(rb_cfg.algorithm);
-      row.balance_by = balance::to_string(rb_cfg.by);
-      row.decision = balance::to_string(outcome.decision);
-      row.projected_gain_s = outcome.projected_gain_s;
-      row.exposed_cost_s = outcome.exposed_cost_s;
-      row.candidate_bytes = outcome.candidate_bytes;
-      row.migrated_bytes = outcome.migration.total_bytes();
-      row.migrated_layers =
-          static_cast<std::int64_t>(outcome.migration.transfers.size());
-      row.imbalance_before = outcome.imbalance_before;
-      row.imbalance_after = outcome.imbalance_after;
-      row.decide_s = outcome.overhead.decide_s;
-      trace->write_rebalance_decision(row);
-      emit_migration_rows(iter, trigger, outcome.migration);
-    }
-  };
 
   // Elastic lifecycle: the controller decides shrink / hold / expand at
   // re-pack points; the session executes transitions as checkpoint-
@@ -445,13 +497,16 @@ SessionResult TrainingSession::run() {
   // communicator bootstrap of the post-restart group is priced over the
   // surviving/acquired ranks' deployment — a prefix of the placement, since
   // packing releases trailing stages and expansion reclaims them.
-  std::optional<ElasticController> elastic;
   if (cfg_.elastic.enabled) {
     ElasticConfig ec = cfg_.elastic;
     if (ec.payoff_window_iters <= 0.0) {
       ec.payoff_window_iters = cfg_.payoff_window_iters;
     }
-    elastic.emplace(ec, S0, [this](int workers) {
+    // The ceiling stays the full pipeline even when the job starts below
+    // it (W0 < S0): the cost surfaces are sized to S0 and expansion may
+    // grow into them.
+    ec.max_workers = S0;
+    R.elastic.emplace(ec, W0, [this](int workers) {
       if (deployment_) {
         return deployment_->prefix(workers).stage_group().inter;
       }
@@ -459,290 +514,395 @@ SessionResult TrainingSession::run() {
     });
   }
 
-  Rng noise_rng(hash_mix(cfg_.seed, 0x7e55));
+  R.noise_rng = Rng(hash_mix(cfg_.seed, 0x7e55));
+}
 
-  SessionResult res;
-  RunningStats idleness_stats;
-  RunningStats bubble_stats;
-  RunningStats workers_stats;
+bool TrainingSession::done() const {
+  DYNMO_CHECK(run_ != nullptr, "done() before start()");
+  return run_->iter >= cfg_.iterations;
+}
 
-  for (std::int64_t iter = 0; iter < cfg_.iterations;
-       iter += cfg_.sim_stride) {
-    if (engine_ != nullptr) engine_->step(iter, states);
-    if (cfg_.mode == BalancingMode::Tutel) apply_tutel_mitigation(states);
+std::int64_t TrainingSession::current_iter() const {
+  DYNMO_CHECK(run_ != nullptr, "current_iter() before start()");
+  return run_->iter;
+}
 
-    const auto mb_scale =
-        engine_ != nullptr ? engine_->microbatch_scale(iter)
-                           : pipeline::MicrobatchScaleFn{};
+int TrainingSession::active_workers() const {
+  if (run_ != nullptr) return run_->active;
+  return resolved_initial_workers();
+}
 
-    // Per-real-iteration compute time (repeated sim_stride times) vs.
-    // one-off event time (rebalance decisions, migrations) — the latter is
-    // charged per *event*, scaled by how many events the stride window
-    // covers.
-    double iter_time = 0.0;
-    double event_time = 0.0;
-    const double events_per_window =
-        (interval > 0 && interval <= cfg_.sim_stride)
-            ? static_cast<double>(cfg_.sim_stride) /
-                  static_cast<double>(interval)
-            : 1.0;
+void TrainingSession::request_shrink(int target_workers) {
+  DYNMO_CHECK(run_ != nullptr, "request_shrink() before start()");
+  auto& R = *run_;
+  DYNMO_CHECK(R.elastic.has_value(),
+              "externally-initiated shrink needs elastic.enabled");
+  DYNMO_CHECK(target_workers >= R.elastic->min_workers(),
+              "forced shrink target " << target_workers
+                                      << " below elastic.min_workers "
+                                      << R.elastic->min_workers());
+  if (target_workers >= R.active) return;  // nothing to release
+  R.pending_shrink = target_workers;
+}
 
-    const auto mem = builder_.layer_memory_bytes(states, map);
+TransitionQuote TrainingSession::quote_shrink(int target_workers) const {
+  DYNMO_CHECK(run_ != nullptr && run_->elastic.has_value(),
+              "quotes need a started session with elastic.enabled");
+  const auto& R = *run_;
+  TransitionQuote q;
+  q.workers_before = R.active;
+  q.workers_after = target_workers;
+  std::vector<double> iter_layer_s = builder_.layer_total_seconds(R.states);
+  for (double& x : iter_layer_s) {
+    x *= static_cast<double>(cfg_.num_microbatches);
+  }
+  const auto loads = R.map.stage_loads(iter_layer_s);
+  q.iter_s_before =
+      loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
+  if (target_workers < R.elastic->min_workers() ||
+      target_workers >= R.active) {
+    return q;
+  }
+  const auto mem = builder_.layer_memory_bytes(R.states, R.map);
+  repack::ContiguousRepackRequest req;
+  req.memory_bytes = mem;
+  req.mem_capacity = R.mem_capacity;
+  req.target_workers = target_workers;
+  const auto rp = repack::repack_contiguous(req, target_workers);
+  if (!rp.feasible) return q;  // the model does not fit that tight
+  q.restart_stall_s = R.elastic->restart_stall_s(R.map, rp.map, mem);
+  q.iter_s_after = balance::PartitionBalancer::optimal_bottleneck(
+      iter_layer_s, target_workers);
+  q.feasible = true;
+  return q;
+}
 
-    const bool rebalance_point = cfg_.mode == BalancingMode::DynMo &&
-                                 interval > 0 && iter % interval == 0;
-    // Raw (pre-noise) per-layer fwd+bwd seconds: the profile's time loads
-    // at rebalance points, and what the stage_loads table records — replay
-    // re-derives the measurement noise from the seed, so recording the raw
-    // values keeps the trace exact.
-    std::vector<double> layer_seconds;
-    if (trace || rebalance_point) {
-      layer_seconds = builder_.layer_total_seconds(states);
+TransitionQuote TrainingSession::quote_expand(int target_workers) const {
+  DYNMO_CHECK(run_ != nullptr && run_->elastic.has_value(),
+              "quotes need a started session with elastic.enabled");
+  const auto& R = *run_;
+  TransitionQuote q;
+  q.workers_before = R.active;
+  q.workers_after = target_workers;
+  std::vector<double> iter_layer_s = builder_.layer_total_seconds(R.states);
+  for (double& x : iter_layer_s) {
+    x *= static_cast<double>(cfg_.num_microbatches);
+  }
+  const auto loads = R.map.stage_loads(iter_layer_s);
+  q.iter_s_before =
+      loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
+  if (target_workers <= R.active ||
+      target_workers > R.elastic->max_workers()) {
+    return q;
+  }
+  // The post-restart map is the balanced partition at the grown count —
+  // exactly what reshard-on-reload produces (ElasticController::decide).
+  balance::PartitionRequest preq;
+  preq.weights.assign(iter_layer_s.begin(), iter_layer_s.end());
+  preq.num_stages = target_workers;
+  const auto balanced = balance::PartitionBalancer{}.balance(preq);
+  const auto mem = builder_.layer_memory_bytes(R.states, R.map);
+  q.restart_stall_s = R.elastic->restart_stall_s(R.map, balanced.map, mem);
+  q.iter_s_after = balance::PartitionBalancer::optimal_bottleneck(
+      iter_layer_s, target_workers);
+  q.feasible = true;
+  return q;
+}
+
+void TrainingSession::execute_forced_shrink(double& event_time,
+                                            double& iter_restart_stall) {
+  auto& R = *run_;
+  const int target = R.pending_shrink;
+  R.pending_shrink = 0;
+  if (target <= 0 || !R.elastic || target >= R.active) return;
+  const auto mem = builder_.layer_memory_bytes(R.states, R.map);
+  const auto layer_seconds = builder_.layer_total_seconds(R.states);
+  repack::ContiguousRepackRequest req;
+  req.memory_bytes = mem;
+  req.mem_capacity = R.mem_capacity;
+  req.target_workers = target;
+  const auto rp = repack::repack_contiguous(req, target);
+  if (!rp.feasible) {
+    // quote_shrink would have said so; an arbiter that forces anyway keeps
+    // the victim at its current footprint rather than OOM it.
+    DYNMO_LOG(Warn) << "forced shrink to " << target
+                    << " workers is memory-infeasible; keeping " << R.active;
+    return;
+  }
+  ElasticDecision d;
+  d.action = ElasticAction::Shrink;
+  d.target_workers = target;
+  d.stall = R.elastic->restart_stall(R.map, rp.map, mem);
+  d.restart_stall_s = d.stall.total_s();
+  {
+    const auto loads = R.map.stage_loads(layer_seconds);
+    const double bottleneck =
+        loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
+    d.projected_gain_s =
+        static_cast<double>(R.active - target) * bottleneck;
+  }
+  // Releases always succeed (ControlPlane contract) — a refusal here means
+  // the arbiter and the session disagree about the claim, a real bug.
+  DYNMO_CHECK(R.elastic->commit(d), "control plane refused a release");
+  if (R.trace) {
+    telemetry::ElasticTransitionRow row;
+    row.iter = R.iter;
+    row.kind = "preempt";
+    row.accepted = true;
+    row.workers_before = R.active;
+    row.workers_after = target;
+    row.stall_s = d.restart_stall_s;
+    row.alpha_s = d.stall.alpha_s;
+    row.bootstrap_s = d.stall.bootstrap_s;
+    row.ckpt_write_s = d.stall.ckpt_write_s;
+    row.ckpt_read_s = d.stall.ckpt_read_s;
+    row.projected_gain_s = d.projected_gain_s;
+    R.trace->write_elastic_transition(row);
+  }
+  // The same checkpoint-coordinated restart a voluntary shrink takes
+  // (docs/RUNTIME.md): serialize through the real binary format, re-pack
+  // onto the target count, resume from the restored state.
+  Checkpoint ckpt;
+  ckpt.iteration = R.iter;
+  ckpt.stage_map = R.map;
+  ckpt.layer_states.assign(R.states.begin(), R.states.end());
+  auto restored = Checkpoint::deserialize(ckpt.serialize());
+  R.map = rp.map;
+  R.states = std::move(restored.layer_states);
+  R.active = target;
+  event_time += d.restart_stall_s;
+  R.res.restart_stall_s += d.restart_stall_s;
+  iter_restart_stall += d.restart_stall_s;
+  ++R.res.forced_shrinks;
+  R.rebalancer.emplace(make_rebalancer(R.active));
+  // Polish with a *raw* profile: a preemption fires between rebalance
+  // points, and drawing measurement noise here would shift the noise
+  // stream every later rebalance consumes — the determinism contract
+  // (docs/RUNTIME.md) forbids that.
+  balance::LayerProfile profile;
+  profile.time_s = layer_seconds;
+  profile.memory_bytes = mem;
+  profile.params.reserve(model_->num_layers());
+  for (const auto& l : model_->layers) {
+    profile.params.push_back(static_cast<double>(l.params));
+  }
+  const auto rb = R.rebalancer->rebalance(profile, R.map);
+  R.map = rb.map;
+  account_outcome(rb, 1.0, R.iter, "post_restart");
+  balance::OverheadBreakdown polish = rb.overhead;
+  polish.profile_s = 0.0;
+  R.res.overhead += polish;
+  event_time += polish.total_s();
+}
+
+double TrainingSession::step() {
+  DYNMO_CHECK(run_ != nullptr, "step() before start()");
+  DYNMO_CHECK(!done(), "step() past the configured iterations");
+  auto& R = *run_;
+  const int S0 = cfg_.pipeline_stages;
+  const std::int64_t iter = R.iter;
+  auto& states = R.states;
+  auto& map = R.map;
+  auto& res = R.res;
+
+  // Per-real-iteration compute time (repeated sim_stride times) vs.
+  // one-off event time (rebalance decisions, migrations) — the latter is
+  // charged per *event*, scaled by how many events the stride window
+  // covers.
+  double iter_time = 0.0;
+  double event_time = 0.0;
+  double iter_restart_stall = 0.0;
+
+  // An arbiter-forced shrink executes before the window's dynamism step,
+  // on the state the quote priced.
+  if (R.pending_shrink > 0) {
+    execute_forced_shrink(event_time, iter_restart_stall);
+  }
+
+  if (engine_ != nullptr) engine_->step(iter, states);
+  if (cfg_.mode == BalancingMode::Tutel) apply_tutel_mitigation(states);
+
+  const auto mb_scale =
+      engine_ != nullptr ? engine_->microbatch_scale(iter)
+                         : pipeline::MicrobatchScaleFn{};
+
+  const double events_per_window =
+      (R.interval > 0 && R.interval <= cfg_.sim_stride)
+          ? static_cast<double>(cfg_.sim_stride) /
+                static_cast<double>(R.interval)
+          : 1.0;
+
+  const auto mem = builder_.layer_memory_bytes(states, map);
+
+  const bool rebalance_point = cfg_.mode == BalancingMode::DynMo &&
+                               R.interval > 0 && iter % R.interval == 0;
+  // Raw (pre-noise) per-layer fwd+bwd seconds: the profile's time loads
+  // at rebalance points, and what the stage_loads table records — replay
+  // re-derives the measurement noise from the seed, so recording the raw
+  // values keeps the trace exact.
+  std::vector<double> layer_seconds;
+  if (R.trace || rebalance_point) {
+    layer_seconds = builder_.layer_total_seconds(states);
+  }
+
+  // --- DynMo: rebalance / re-pack --------------------------------------
+  // Rebalancing happens *inside* the iteration: for every-iteration
+  // cadences (MoE / MoD / sparse attention) the forward pass measures the
+  // routing loads and the backward pass migrates layers accordingly
+  // (§3.3.1), so the new map takes effect for the very loads that were
+  // measured.  For slow cadences (pruning / freezing / early exit) this
+  // merely skips the single imbalanced profiling iteration, which is
+  // negligible at those intervals.
+  if (rebalance_point) {
+    balance::LayerProfile profile;
+    profile.time_s = layer_seconds;
+    profile.memory_bytes = mem;
+    profile.params.reserve(model_->num_layers());
+    for (const auto& l : model_->layers) {
+      profile.params.push_back(static_cast<double>(l.params));
     }
-    double iter_restart_stall = 0.0;
+    balance::add_measurement_noise(profile, R.noise_rng);
 
-    // --- DynMo: rebalance / re-pack --------------------------------------
-    // Rebalancing happens *inside* the iteration: for every-iteration
-    // cadences (MoE / MoD / sparse attention) the forward pass measures the
-    // routing loads and the backward pass migrates layers accordingly
-    // (§3.3.1), so the new map takes effect for the very loads that were
-    // measured.  For slow cadences (pruning / freezing / early exit) this
-    // merely skips the single imbalanced profiling iteration, which is
-    // negligible at those intervals.
-    if (rebalance_point) {
-      balance::LayerProfile profile;
-      profile.time_s = layer_seconds;
-      profile.memory_bytes = mem;
-      profile.params.reserve(model_->num_layers());
-      for (const auto& l : model_->layers) {
-        profile.params.push_back(static_cast<double>(l.params));
-      }
-      balance::add_measurement_noise(profile, noise_rng);
+    const auto outcome = R.rebalancer->rebalance(profile, map);
+    map = outcome.map;
+    account_outcome(outcome, events_per_window, iter, "periodic");
+    balance::OverheadBreakdown scaled = outcome.overhead;
+    // Every-iteration rebalancing couples migration with backprop; only
+    // the non-overlapped remainder is exposed.
+    if (R.interval == 1) {
+      scaled.migrate_s *=
+          1.0 - std::clamp(cfg_.migration_overlap, 0.0, 1.0);
+    }
+    scaled.profile_s *= events_per_window;
+    scaled.decide_s *= events_per_window;
+    scaled.migrate_s *= events_per_window;
+    res.overhead += scaled;
+    event_time += scaled.total_s();
+    ++res.rebalance_count;
 
-      const auto outcome = rebalancer.rebalance(profile, map);
-      map = outcome.map;
-      account_outcome(outcome, events_per_window, res, iter, "periodic");
-      balance::OverheadBreakdown scaled = outcome.overhead;
-      // Every-iteration rebalancing couples migration with backprop; only
-      // the non-overlapped remainder is exposed.
-      if (interval == 1) {
-        scaled.migrate_s *=
-            1.0 - std::clamp(cfg_.migration_overlap, 0.0, 1.0);
-      }
-      scaled.profile_s *= events_per_window;
-      scaled.decide_s *= events_per_window;
-      scaled.migrate_s *= events_per_window;
-      res.overhead += scaled;
-      event_time += scaled.total_s();
-      ++res.rebalance_count;
-
-      if (cfg_.repack && iter > 0 && iter % cfg_.repack_interval == 0) {
-        int target = cfg_.repack_target_workers;
-        if (target <= 0 &&
-            cfg_.repack_policy ==
-                SessionConfig::RepackPolicy::ThroughputPreserving) {
-          // Release workers only while the *optimal contiguous bottleneck*
-          // at the reduced count stays within tolerance of what the full
-          // worker count could achieve on today's loads.  The reference is
-          // recomputed from the current profile but always at the original
-          // stage count, so repeated re-packs cannot ratchet the pipeline
-          // slower and slower.
-          constexpr double kTolerance = 1.05;
-          const double ref_bottleneck =
-              balance::PartitionBalancer::optimal_bottleneck(profile.time_s,
-                                                             S0);
-          target = active;
-          for (int a = 1; a <= active; ++a) {
-            if (balance::PartitionBalancer::optimal_bottleneck(
-                    profile.time_s, a) <= ref_bottleneck * kTolerance) {
-              target = a;
-              break;
-            }
-          }
-          // Policy-derived target on a deployment: release whole nodes —
-          // snap up to the next node boundary (keeping extra workers can
-          // only help the bottleneck) unless that cancels the release.
-          if (deployment_) {
-            int snapped = target;
-            while (snapped < active &&
-                   deployment_->node(snapped) ==
-                       deployment_->node(snapped - 1)) {
-              ++snapped;
-            }
-            if (snapped < active) target = snapped;
+    if (cfg_.repack && iter > 0 && iter % cfg_.repack_interval == 0) {
+      int target = cfg_.repack_target_workers;
+      if (target <= 0 &&
+          cfg_.repack_policy ==
+              SessionConfig::RepackPolicy::ThroughputPreserving) {
+        // Release workers only while the *optimal contiguous bottleneck*
+        // at the reduced count stays within tolerance of what the full
+        // worker count could achieve on today's loads.  The reference is
+        // recomputed from the current profile but always at the original
+        // stage count, so repeated re-packs cannot ratchet the pipeline
+        // slower and slower.
+        constexpr double kTolerance = 1.05;
+        const double ref_bottleneck =
+            balance::PartitionBalancer::optimal_bottleneck(profile.time_s,
+                                                           S0);
+        target = R.active;
+        for (int a = 1; a <= R.active; ++a) {
+          if (balance::PartitionBalancer::optimal_bottleneck(
+                  profile.time_s, a) <= ref_bottleneck * kTolerance) {
+            target = a;
+            break;
           }
         }
-        repack::ContiguousRepackRequest req;
-        req.memory_bytes = mem;
-        req.mem_capacity = mem_capacity;
-        req.target_workers = target;
-        // Deployment-aware packing prefers vacating whole nodes.
-        const auto rp = deployment_
-                            ? repack::repack_contiguous(req, active,
-                                                        *deployment_)
-                            : repack::repack_contiguous(req, active);
-        if (!rp.feasible && cfg_.repack_target_workers > 0) {
-          res.oom = true;  // forced pack does not fit (Fig. 4 OOM cells)
-        } else if (rp.feasible && rp.active_workers < active) {
-          // Adopt the consolidated map: trailing stages become empty and
-          // their workers are released; the pipeline continues on a
-          // compacted map over the survivors.
-          std::vector<std::size_t> b(
-              rp.map.boundaries().begin(),
-              rp.map.boundaries().begin() + rp.active_workers + 1);
-          const auto packed = pipeline::StageMap::from_boundaries(b);
-          const auto migration = balance::plan_migration(map, packed, mem);
-          const double migrate_s =
-              rb_cfg.stage_to_rank.empty()
-                  ? migration.estimated_time_s(net_)
-                  : migration.estimated_time_s(net_, rb_cfg.stage_to_rank);
-          // Payoff gate for packing: the transfer stalls all `active`
-          // workers for migrate_s once, and its payoff is the GPU-time of
-          // the released workers — one bottleneck-iteration per window
-          // iteration each.  A pack that cannot amortize within the window
-          // is skipped (and retried at the next repack point, when the
-          // model may have shrunk further).
-          bool pack_pays_off = true;
-          if (cfg_.payoff_window_iters > 0.0) {
-            const auto loads = map.stage_loads(profile.time_s);
-            const double bottleneck_s =
-                *std::max_element(loads.begin(), loads.end());
-            const double freed =
-                static_cast<double>(active - rp.active_workers);
-            if (freed * bottleneck_s * cfg_.payoff_window_iters <
-                migrate_s * static_cast<double>(active)) {
-              pack_pays_off = false;
-              ++res.maps_rejected_payoff;
-              res.migration_bytes_avoided +=
-                  migration.total_bytes() * replica_mirror;
-              if (trace) {
-                telemetry::ElasticTransitionRow row;
-                row.iter = iter;
-                row.kind = "repack";
-                row.accepted = false;
-                row.workers_before = active;
-                row.workers_after = rp.active_workers;
-                row.stall_s = migrate_s;
-                row.projected_gain_s = freed * bottleneck_s;
-                row.migrated_bytes = migration.total_bytes();
-                trace->write_elastic_transition(row);
-              }
-            }
+        // Policy-derived target on a deployment: release whole nodes —
+        // snap up to the next node boundary (keeping extra workers can
+        // only help the bottleneck) unless that cancels the release.
+        if (deployment_) {
+          int snapped = target;
+          while (snapped < R.active &&
+                 deployment_->node(snapped) ==
+                     deployment_->node(snapped - 1)) {
+            ++snapped;
           }
-          if (pack_pays_off) {
-            record_migration_split(migration, 1.0, res);
-            if (trace) {
+          if (snapped < R.active) target = snapped;
+        }
+      }
+      repack::ContiguousRepackRequest req;
+      req.memory_bytes = mem;
+      req.mem_capacity = R.mem_capacity;
+      req.target_workers = target;
+      // Deployment-aware packing prefers vacating whole nodes.
+      const auto rp = deployment_
+                          ? repack::repack_contiguous(req, R.active,
+                                                      *deployment_)
+                          : repack::repack_contiguous(req, R.active);
+      if (!rp.feasible && cfg_.repack_target_workers > 0) {
+        res.oom = true;  // forced pack does not fit (Fig. 4 OOM cells)
+      } else if (rp.feasible && rp.active_workers < R.active) {
+        // Adopt the consolidated map: trailing stages become empty and
+        // their workers are released; the pipeline continues on a
+        // compacted map over the survivors.
+        std::vector<std::size_t> b(
+            rp.map.boundaries().begin(),
+            rp.map.boundaries().begin() + rp.active_workers + 1);
+        const auto packed = pipeline::StageMap::from_boundaries(b);
+        const auto migration = balance::plan_migration(map, packed, mem);
+        const double migrate_s =
+            R.rb_cfg.stage_to_rank.empty()
+                ? migration.estimated_time_s(net_)
+                : migration.estimated_time_s(net_, R.rb_cfg.stage_to_rank);
+        // Payoff gate for packing: the transfer stalls all `active`
+        // workers for migrate_s once, and its payoff is the GPU-time of
+        // the released workers — one bottleneck-iteration per window
+        // iteration each.  A pack that cannot amortize within the window
+        // is skipped (and retried at the next repack point, when the
+        // model may have shrunk further).
+        bool pack_pays_off = true;
+        if (cfg_.payoff_window_iters > 0.0) {
+          const auto loads = map.stage_loads(profile.time_s);
+          const double bottleneck_s =
+              *std::max_element(loads.begin(), loads.end());
+          const double freed =
+              static_cast<double>(R.active - rp.active_workers);
+          if (freed * bottleneck_s * cfg_.payoff_window_iters <
+              migrate_s * static_cast<double>(R.active)) {
+            pack_pays_off = false;
+            ++res.maps_rejected_payoff;
+            res.migration_bytes_avoided +=
+                migration.total_bytes() * R.replica_mirror;
+            if (R.trace) {
               telemetry::ElasticTransitionRow row;
               row.iter = iter;
               row.kind = "repack";
-              row.accepted = true;
-              row.workers_before = active;
+              row.accepted = false;
+              row.workers_before = R.active;
               row.workers_after = rp.active_workers;
               row.stall_s = migrate_s;
-              const auto loads = map.stage_loads(profile.time_s);
-              row.projected_gain_s =
-                  static_cast<double>(active - rp.active_workers) *
-                  *std::max_element(loads.begin(), loads.end());
+              row.projected_gain_s = freed * bottleneck_s;
               row.migrated_bytes = migration.total_bytes();
-              trace->write_elastic_transition(row);
-              emit_migration_rows(iter, "repack", migration);
+              R.trace->write_elastic_transition(row);
             }
-            event_time += migrate_s;
-            res.overhead.migrate_s += migrate_s;
-            map = packed;
-            active = rp.active_workers;
-            ++res.repack_count;
-            rebalancer = make_rebalancer(active);
-            // Rebalance within the survivors right away (a one-off event,
-            // accounted like any other rebalance, except profiling: the
-            // polish reuses the profile already charged above).
-            const auto rb = rebalancer.rebalance(profile, map);
-            map = rb.map;
-            account_outcome(rb, 1.0, res, iter, "post_pack");
-            balance::OverheadBreakdown polish = rb.overhead;
-            polish.profile_s = 0.0;
-            res.overhead += polish;
-            event_time += polish.total_s();
           }
         }
-      }
-
-      // --- elastic lifecycle: shrink / hold / expand ---------------------
-      if (elastic && iter > 0 && iter % cfg_.elastic.interval == 0) {
-        // The restart stall is wall-clock seconds, so the gain side of the
-        // payoff inequality must be per-*iteration* seconds: a stage
-        // processes every microbatch, while profile.time_s is the
-        // balancers' per-microbatch currency.
-        std::vector<double> iter_layer_s(profile.time_s);
-        for (double& x : iter_layer_s) {
-          x *= static_cast<double>(cfg_.num_microbatches);
-        }
-        const auto d =
-            elastic->decide(map, iter_layer_s, mem, mem_capacity, active);
-        const auto emit_elastic_row = [&](bool accepted) {
-          if (!trace) return;
-          telemetry::ElasticTransitionRow row;
-          row.iter = iter;
-          // A payoff-rejected decision keeps action == Hold; the wanted
-          // direction is recoverable from the target.
-          row.kind = d.action != ElasticAction::Hold
-                         ? to_string(d.action)
-                         : (d.target_workers < active ? "shrink" : "expand");
-          row.accepted = accepted;
-          row.workers_before = active;
-          row.workers_after = d.target_workers;
-          row.stall_s = d.restart_stall_s;
-          row.alpha_s = d.stall.alpha_s;
-          row.bootstrap_s = d.stall.bootstrap_s;
-          row.ckpt_write_s = d.stall.ckpt_write_s;
-          row.ckpt_read_s = d.stall.ckpt_read_s;
-          row.projected_gain_s = d.projected_gain_s;
-          trace->write_elastic_transition(row);
-        };
-        if (d.rejected_by_payoff) {
-          // A transition was wanted but its restart stall does not
-          // amortize within the payoff window — same ledger as rejected
-          // migrations (no bytes though: restarts move none).
-          ++res.maps_rejected_payoff;
-          emit_elastic_row(false);
-        } else if (d.action != ElasticAction::Hold && elastic->commit(d)) {
-          emit_elastic_row(true);
-          // Checkpoint-coordinated restart (docs/RUNTIME.md): serialize
-          // the training state through the real binary format, re-pack
-          // the stage map onto the new worker count, and resume from the
-          // restored checkpoint.  Weights arrive via checkpoint reload,
-          // so no migration bytes are issued; the whole transition is
-          // charged as the modeled restart stall instead.
-          Checkpoint ckpt;
-          ckpt.iteration = iter;
-          ckpt.stage_map = map;
-          ckpt.layer_states.assign(states.begin(), states.end());
-          auto restored = Checkpoint::deserialize(ckpt.serialize());
-          repack::ContiguousRepackRequest rreq;
-          rreq.memory_bytes = mem;
-          rreq.mem_capacity = mem_capacity;
-          rreq.target_workers = d.target_workers;
-          const auto rp = repack::repack_contiguous(rreq, d.target_workers);
-          DYNMO_CHECK(rp.feasible,
-                      "controller committed a memory-infeasible target");
-          map = rp.map;
-          states = std::move(restored.layer_states);
-          active = d.target_workers;
-          event_time += d.restart_stall_s;
-          res.restart_stall_s += d.restart_stall_s;
-          iter_restart_stall += d.restart_stall_s;
-          if (d.action == ElasticAction::Expand) {
-            ++res.expands;
-          } else {
-            ++res.shrinks;
+        if (pack_pays_off) {
+          record_migration_split(migration, 1.0);
+          if (R.trace) {
+            telemetry::ElasticTransitionRow row;
+            row.iter = iter;
+            row.kind = "repack";
+            row.accepted = true;
+            row.workers_before = R.active;
+            row.workers_after = rp.active_workers;
+            row.stall_s = migrate_s;
+            const auto loads = map.stage_loads(profile.time_s);
+            row.projected_gain_s =
+                static_cast<double>(R.active - rp.active_workers) *
+                *std::max_element(loads.begin(), loads.end());
+            row.migrated_bytes = migration.total_bytes();
+            R.trace->write_elastic_transition(row);
+            emit_migration_rows(iter, "repack", migration);
           }
-          // Resharding "comes for free" on reload (§3.4.2), but the pack
-          // above is memory-driven; polish with a time rebalance over the
-          // new worker count, accounted like the post-pack polish.
-          rebalancer = make_rebalancer(active);
-          const auto rb = rebalancer.rebalance(profile, map);
+          event_time += migrate_s;
+          res.overhead.migrate_s += migrate_s;
+          map = packed;
+          R.active = rp.active_workers;
+          ++res.repack_count;
+          R.rebalancer.emplace(make_rebalancer(R.active));
+          // Rebalance within the survivors right away (a one-off event,
+          // accounted like any other rebalance, except profiling: the
+          // polish reuses the profile already charged above).
+          const auto rb = R.rebalancer->rebalance(profile, map);
           map = rb.map;
-          account_outcome(rb, 1.0, res, iter, "post_restart");
+          account_outcome(rb, 1.0, iter, "post_pack");
           balance::OverheadBreakdown polish = rb.overhead;
           polish.profile_s = 0.0;
           res.overhead += polish;
@@ -751,116 +911,218 @@ SessionResult TrainingSession::run() {
       }
     }
 
-    // --- execute one iteration on the (possibly rebalanced) map ----------
-    const auto costs = builder_.build(states, map, mb_scale);
-    const auto pipe = pipeline::simulate(cfg_.schedule, costs);
-    const auto dp_cost = dp_allreduce_cost(map, states);
-    iter_time += pipe.makespan_s + dp_cost.exposed_s;
-    res.intra_node_dp_bytes +=
-        dp_cost.intra_bytes * static_cast<double>(cfg_.sim_stride);
-    res.inter_node_dp_bytes +=
-        dp_cost.inter_bytes * static_cast<double>(cfg_.sim_stride);
-
-    // Memory accounting (for OOM detection and Fig. 4): every stage is
-    // checked against the capacity of the GPU actually hosting it.
-    {
-      const auto stage_mem = map.stage_loads(mem);
-      for (int s = 0; s < map.num_stages(); ++s) {
-        const double used = stage_mem[static_cast<std::size_t>(s)];
-        res.peak_stage_memory = std::max(res.peak_stage_memory, used);
-        if (used > stage_mem_capacity(s)) res.oom = true;
+    // --- elastic lifecycle: shrink / hold / expand ---------------------
+    if (R.elastic && iter > 0 && iter % cfg_.elastic.interval == 0) {
+      // The restart stall is wall-clock seconds, so the gain side of the
+      // payoff inequality must be per-*iteration* seconds: a stage
+      // processes every microbatch, while profile.time_s is the
+      // balancers' per-microbatch currency.
+      std::vector<double> iter_layer_s(profile.time_s);
+      for (double& x : iter_layer_s) {
+        x *= static_cast<double>(cfg_.num_microbatches);
       }
-    }
-
-    // Baseline-specific per-iteration overheads.
-    if (cfg_.mode == BalancingMode::Egeria && engine_ != nullptr &&
-        engine_->is_dynamism_point(iter)) {
-      const double oh = dynamic::FreezingEngine::egeria_check_overhead_s(
-          model_->num_layers());
-      iter_time += oh;
-      res.baseline_overhead_s += oh;
-    }
-    if (cfg_.mode == BalancingMode::Tutel) {
-      const double oh = 5e-5;  // adaptive dispatch bookkeeping
-      iter_time += oh;
-      res.baseline_overhead_s += oh;
-    }
-
-    // --- bookkeeping ------------------------------------------------------
-    const double step_s =
-        iter_time * static_cast<double>(cfg_.sim_stride) + event_time;
-    res.total_time_s += step_s;
-    // GPU-hours the release gave back (elastic or plain re-pack): every
-    // DP replica frees the same (S0 - active) workers for this step.
-    res.gpu_hours_saved += static_cast<double>(S0 - active) *
-                           static_cast<double>(cfg_.data_parallel) * step_s /
-                           3600.0;
-    idleness_stats.add(pipe.avg_idleness());
-    bubble_stats.add(pipe.bubble_ratio());
-    workers_stats.add(static_cast<double>(active));
-
-    IterationSample sample;
-    sample.iter = iter;
-    sample.time_s = iter_time;
-    sample.idleness = pipe.avg_idleness();
-    sample.bubble_ratio = pipe.bubble_ratio();
-    sample.active_workers = active;
-    sample.compute_fraction =
-        engine_ != nullptr ? engine_->compute_fraction(states) : 1.0;
-    sample.rebalanced = rebalance_point;
-    sample.stall_s = event_time;
-    res.samples.push_back(sample);
-
-    if (trace) {
-      // Stage rows use the map in effect *after* this iteration's events —
-      // the map the recorded loads actually ran under.  Concatenating the
-      // per-layer arrays across stages reconstructs the full layer vectors
-      // regardless of where the boundaries sit.
-      const auto stage_s = map.stage_loads(layer_seconds);
-      const auto stage_mem = map.stage_loads(mem);
-      for (int s = 0; s < map.num_stages(); ++s) {
-        const auto si = static_cast<std::size_t>(s);
-        telemetry::StageLoadRow row;
+      const auto d = R.elastic->decide(map, iter_layer_s, mem,
+                                       R.mem_capacity, R.active);
+      const auto emit_elastic_row = [&](bool accepted) {
+        if (!R.trace) return;
+        telemetry::ElasticTransitionRow row;
         row.iter = iter;
-        row.stage = s;
-        row.rank = deployment_ ? deployment_->rank(s) : s;
-        row.layer_begin = static_cast<std::int64_t>(map.stage_begin(s));
-        row.layer_end = static_cast<std::int64_t>(map.stage_end(s));
-        row.load_s = stage_s[si];
-        row.mem_bytes = stage_mem[si];
-        if (cfg_.telemetry.per_layer) {
-          row.layer_s.assign(layer_seconds.begin() + row.layer_begin,
-                             layer_seconds.begin() + row.layer_end);
-          row.layer_mem.assign(mem.begin() + row.layer_begin,
-                               mem.begin() + row.layer_end);
+        // A payoff-rejected decision keeps action == Hold; the wanted
+        // direction is recoverable from the target.
+        row.kind = d.action != ElasticAction::Hold
+                       ? to_string(d.action)
+                       : (d.target_workers < R.active ? "shrink" : "expand");
+        row.accepted = accepted;
+        row.workers_before = R.active;
+        row.workers_after = d.target_workers;
+        row.stall_s = d.restart_stall_s;
+        row.alpha_s = d.stall.alpha_s;
+        row.bootstrap_s = d.stall.bootstrap_s;
+        row.ckpt_write_s = d.stall.ckpt_write_s;
+        row.ckpt_read_s = d.stall.ckpt_read_s;
+        row.projected_gain_s = d.projected_gain_s;
+        R.trace->write_elastic_transition(row);
+      };
+      if (d.rejected_by_payoff) {
+        // A transition was wanted but its restart stall does not
+        // amortize within the payoff window — same ledger as rejected
+        // migrations (no bytes though: restarts move none).
+        ++res.maps_rejected_payoff;
+        emit_elastic_row(false);
+      } else if (d.action != ElasticAction::Hold && R.elastic->commit(d)) {
+        emit_elastic_row(true);
+        // Checkpoint-coordinated restart (docs/RUNTIME.md): serialize
+        // the training state through the real binary format, re-pack
+        // the stage map onto the new worker count, and resume from the
+        // restored checkpoint.  Weights arrive via checkpoint reload,
+        // so no migration bytes are issued; the whole transition is
+        // charged as the modeled restart stall instead.
+        Checkpoint ckpt;
+        ckpt.iteration = iter;
+        ckpt.stage_map = map;
+        ckpt.layer_states.assign(states.begin(), states.end());
+        auto restored = Checkpoint::deserialize(ckpt.serialize());
+        repack::ContiguousRepackRequest rreq;
+        rreq.memory_bytes = mem;
+        rreq.mem_capacity = R.mem_capacity;
+        rreq.target_workers = d.target_workers;
+        const auto rp = repack::repack_contiguous(rreq, d.target_workers);
+        DYNMO_CHECK(rp.feasible,
+                    "controller committed a memory-infeasible target");
+        map = rp.map;
+        states = std::move(restored.layer_states);
+        R.active = d.target_workers;
+        event_time += d.restart_stall_s;
+        res.restart_stall_s += d.restart_stall_s;
+        iter_restart_stall += d.restart_stall_s;
+        if (d.action == ElasticAction::Expand) {
+          ++res.expands;
+        } else {
+          ++res.shrinks;
         }
-        trace->write_stage_load(row);
+        // Resharding "comes for free" on reload (§3.4.2), but the pack
+        // above is memory-driven; polish with a time rebalance over the
+        // new worker count, accounted like the post-pack polish.
+        R.rebalancer.emplace(make_rebalancer(R.active));
+        const auto rb = R.rebalancer->rebalance(profile, map);
+        map = rb.map;
+        account_outcome(rb, 1.0, iter, "post_restart");
+        balance::OverheadBreakdown polish = rb.overhead;
+        polish.profile_s = 0.0;
+        res.overhead += polish;
+        event_time += polish.total_s();
       }
-      telemetry::IterationRow irow;
-      irow.iter = iter;
-      irow.time_s = iter_time;
-      irow.event_s = event_time;
-      irow.bottleneck_s = *std::max_element(stage_s.begin(), stage_s.end());
-      irow.idleness = sample.idleness;
-      irow.bubble_ratio = sample.bubble_ratio;
-      irow.active_workers = active;
-      irow.compute_fraction = sample.compute_fraction;
-      irow.rebalanced = rebalance_point;
-      irow.stall_s = iter_restart_stall;
-      trace->write_iteration(irow);
     }
   }
-  if (trace) trace->finalize();
 
+  // --- execute one iteration on the (possibly rebalanced) map ----------
+  const auto costs = builder_.build(states, map, mb_scale);
+  const auto pipe = pipeline::simulate(cfg_.schedule, costs);
+  const auto dp_cost = dp_allreduce_cost(map, states);
+  iter_time += pipe.makespan_s + dp_cost.exposed_s;
+  res.intra_node_dp_bytes +=
+      dp_cost.intra_bytes * static_cast<double>(cfg_.sim_stride);
+  res.inter_node_dp_bytes +=
+      dp_cost.inter_bytes * static_cast<double>(cfg_.sim_stride);
+
+  // Memory accounting (for OOM detection and Fig. 4): every stage is
+  // checked against the capacity of the GPU actually hosting it.
+  {
+    const auto stage_mem = map.stage_loads(mem);
+    for (int s = 0; s < map.num_stages(); ++s) {
+      const double used = stage_mem[static_cast<std::size_t>(s)];
+      res.peak_stage_memory = std::max(res.peak_stage_memory, used);
+      if (used > stage_mem_capacity(s)) res.oom = true;
+    }
+  }
+
+  // Baseline-specific per-iteration overheads.
+  if (cfg_.mode == BalancingMode::Egeria && engine_ != nullptr &&
+      engine_->is_dynamism_point(iter)) {
+    const double oh = dynamic::FreezingEngine::egeria_check_overhead_s(
+        model_->num_layers());
+    iter_time += oh;
+    res.baseline_overhead_s += oh;
+  }
+  if (cfg_.mode == BalancingMode::Tutel) {
+    const double oh = 5e-5;  // adaptive dispatch bookkeeping
+    iter_time += oh;
+    res.baseline_overhead_s += oh;
+  }
+
+  // --- bookkeeping ------------------------------------------------------
+  const double step_s =
+      iter_time * static_cast<double>(cfg_.sim_stride) + event_time;
+  res.total_time_s += step_s;
+  // GPU-hours the release gave back (elastic or plain re-pack): every
+  // DP replica frees the same (W0 - active) workers for this step —
+  // measured against the *starting* footprint, so a fleet job admitted
+  // small does not book its whole unexpanded ceiling as savings.
+  res.gpu_hours_saved += static_cast<double>(R.initial_workers - R.active) *
+                         static_cast<double>(cfg_.data_parallel) * step_s /
+                         3600.0;
+  R.idleness_stats.add(pipe.avg_idleness());
+  R.bubble_stats.add(pipe.bubble_ratio());
+  R.workers_stats.add(static_cast<double>(R.active));
+
+  IterationSample sample;
+  sample.iter = iter;
+  sample.time_s = iter_time;
+  sample.idleness = pipe.avg_idleness();
+  sample.bubble_ratio = pipe.bubble_ratio();
+  sample.active_workers = R.active;
+  sample.compute_fraction =
+      engine_ != nullptr ? engine_->compute_fraction(states) : 1.0;
+  sample.rebalanced = rebalance_point;
+  sample.stall_s = event_time;
+  res.samples.push_back(sample);
+
+  if (R.trace) {
+    // Stage rows use the map in effect *after* this iteration's events —
+    // the map the recorded loads actually ran under.  Concatenating the
+    // per-layer arrays across stages reconstructs the full layer vectors
+    // regardless of where the boundaries sit.
+    const auto stage_s = map.stage_loads(layer_seconds);
+    const auto stage_mem = map.stage_loads(mem);
+    for (int s = 0; s < map.num_stages(); ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      telemetry::StageLoadRow row;
+      row.iter = iter;
+      row.stage = s;
+      row.rank = deployment_ ? deployment_->rank(s) : s;
+      row.layer_begin = static_cast<std::int64_t>(map.stage_begin(s));
+      row.layer_end = static_cast<std::int64_t>(map.stage_end(s));
+      row.load_s = stage_s[si];
+      row.mem_bytes = stage_mem[si];
+      if (cfg_.telemetry.per_layer) {
+        row.layer_s.assign(layer_seconds.begin() + row.layer_begin,
+                           layer_seconds.begin() + row.layer_end);
+        row.layer_mem.assign(mem.begin() + row.layer_begin,
+                             mem.begin() + row.layer_end);
+      }
+      R.trace->write_stage_load(row);
+    }
+    telemetry::IterationRow irow;
+    irow.iter = iter;
+    irow.time_s = iter_time;
+    irow.event_s = event_time;
+    irow.bottleneck_s = *std::max_element(stage_s.begin(), stage_s.end());
+    irow.idleness = sample.idleness;
+    irow.bubble_ratio = sample.bubble_ratio;
+    irow.active_workers = R.active;
+    irow.compute_fraction = sample.compute_fraction;
+    irow.rebalanced = rebalance_point;
+    irow.stall_s = iter_restart_stall;
+    R.trace->write_iteration(irow);
+  }
+
+  R.iter += cfg_.sim_stride;
+  return step_s;
+}
+
+SessionResult TrainingSession::finish() {
+  DYNMO_CHECK(run_ != nullptr, "finish() before start()");
+  DYNMO_CHECK(done(), "finish() before the configured iterations ran");
+  auto& R = *run_;
+  if (R.trace) R.trace->finalize();
+
+  SessionResult res = std::move(R.res);
   const double iters = static_cast<double>(cfg_.iterations);
   res.tokens_per_sec = tokens_per_iteration() * iters / res.total_time_s;
-  res.avg_idleness = idleness_stats.mean();
-  res.avg_bubble_ratio = bubble_stats.mean();
-  res.avg_active_workers = workers_stats.mean();
+  res.avg_idleness = R.idleness_stats.mean();
+  res.avg_bubble_ratio = R.bubble_stats.mean();
+  res.avg_active_workers = R.workers_stats.mean();
   res.overhead_fraction =
       res.overhead.total_s() / std::max(1e-12, res.total_time_s);
-  res.final_map = map;
+  res.final_map = R.map;
+  run_.reset();
   return res;
+}
+
+SessionResult TrainingSession::run() {
+  start();
+  while (!done()) step();
+  return finish();
 }
 
 }  // namespace dynmo::runtime

@@ -131,6 +131,15 @@ struct SessionConfig {
   /// `payoff_window_iters`.
   ElasticConfig elastic{};
 
+  /// Workers the session actually *starts* on; 0 → `pipeline_stages`.
+  /// A fleet job admitted below its ceiling begins on a packed map over
+  /// this many workers and grows into capacity other jobs free through the
+  /// normal elastic expand path — so a value below `pipeline_stages`
+  /// requires `elastic.enabled` (and the controller's baseline claim is
+  /// this count, not the ceiling).  The cost surfaces stay sized to
+  /// `pipeline_stages`, exactly as after a voluntary shrink.
+  int initial_active_workers = 0;
+
   std::int64_t iterations = 1000;
   /// Simulate every `sim_stride`-th iteration and extrapolate (the paper's
   /// 10k-iteration runs are steady-state; stride must divide the dynamism
@@ -215,6 +224,10 @@ struct SessionResult {
   /// rejections of wanted transitions count in maps_rejected_payoff.
   int expands = 0;
   int shrinks = 0;
+  /// Externally-initiated (fleet::Arbiter preemption) shrinks executed via
+  /// request_shrink() — same checkpoint-coordinated path, counted apart
+  /// from the voluntary `shrinks` the controller chose itself.
+  int forced_shrinks = 0;
   double restart_stall_s = 0.0;       ///< total stall charged to the clock
   /// GPU-hours not spent versus never shrinking, over all DP replicas:
   /// Σ (initial_workers − active) · dp · dt.  Accumulated for elastic *and*
@@ -227,6 +240,26 @@ struct SessionResult {
   std::vector<IterationSample> samples;
 };
 
+/// Priced preview of an externally-initiated elastic transition: what a
+/// checkpoint-coordinated restart onto `workers_after` would stall, and
+/// the iteration time the session projects on each side.  The
+/// fleet::Arbiter quotes both sides of a preemption with these before
+/// forcing anything (docs/FLEET.md "Preemption pricing").
+struct TransitionQuote {
+  bool feasible = false;
+  int workers_before = 0;
+  int workers_after = 0;
+  /// Modeled restart stall of the transition (docs/COST_MODEL.md
+  /// "Restart-stall pricing").
+  double restart_stall_s = 0.0;
+  /// Projected iteration seconds on today's map (bottleneck stage times
+  /// the microbatch count — wall-clock currency, not the balancers'
+  /// per-microbatch one).
+  double iter_s_before = 0.0;
+  /// Projected iteration seconds on the balanced map at `workers_after`.
+  double iter_s_after = 0.0;
+};
+
 class TrainingSession {
  public:
   /// `engine` may be null (fully static model, e.g. the dense-attention or
@@ -234,8 +267,43 @@ class TrainingSession {
   /// engine.
   TrainingSession(const model::ModelDesc& model, SessionConfig cfg,
                   dynamic::DynamismEngine* engine);
+  ~TrainingSession();
 
   SessionResult run();
+
+  // --- stepping API ------------------------------------------------------
+  // run() is exactly start(); while (!done()) step(); finish() — the fleet
+  // arbiter (docs/FLEET.md) interleaves N sessions by driving each one a
+  // sim_stride window at a time under its event clock, injecting
+  // request_shrink() between windows when a preemption fires.
+
+  /// Materialize the run state (initial map, rebalancer, controller —
+  /// including the baseline GPU claim against `elastic.cluster`).
+  void start();
+  bool started() const { return run_ != nullptr; }
+  bool done() const;
+  /// Simulate the next sim_stride window; returns the wall-clock seconds
+  /// it covered (iteration time × stride + one-off event stalls).
+  double step();
+  /// Finalize telemetry and aggregate the result; only valid once done().
+  SessionResult finish();
+  std::int64_t current_iter() const;
+  /// Workers the session currently runs on (between start() and finish()).
+  int active_workers() const;
+
+  /// Queue an externally-initiated shrink to `target_workers`, executed at
+  /// the start of the next step() as the same checkpoint-coordinated
+  /// restart a voluntary shrink takes (serialize → re-pack → reshard →
+  /// stall → polish rebalance); counted in SessionResult::forced_shrinks
+  /// and traced as an elastic_transitions row with kind "preempt".
+  /// Requires elastic.enabled; `target_workers` must respect
+  /// elastic.min_workers; at or above the current footprint it is a no-op.
+  void request_shrink(int target_workers);
+
+  /// Price a shrink/expand to `target_workers` on the current state
+  /// without executing anything (const — repeated quotes are free).
+  TransitionQuote quote_shrink(int target_workers) const;
+  TransitionQuote quote_expand(int target_workers) const;
 
   /// Tokens processed per iteration across all DP replicas.
   double tokens_per_iteration() const;
@@ -262,6 +330,17 @@ class TrainingSession {
   /// Device memory of the GPU hosting a stage (min across DP replicas on
   /// a grid; cfg.gpu when synthetic).
   double stage_mem_capacity(int stage) const;
+  int resolved_initial_workers() const;
+  balance::Rebalancer make_rebalancer(int stages) const;
+  void emit_migration_rows(std::int64_t iter, const char* trigger,
+                           const balance::MigrationPlan& plan);
+  void record_migration_split(const balance::MigrationPlan& plan,
+                              double scale);
+  void account_outcome(const balance::RebalanceOutcome& outcome, double scale,
+                       std::int64_t iter, const char* trigger);
+  /// Execute a queued request_shrink() (no-op without one); stall and
+  /// polish overhead are charged into the current step's accumulators.
+  void execute_forced_shrink(double& event_time, double& iter_restart_stall);
 
   const model::ModelDesc* model_;
   SessionConfig cfg_;
@@ -274,6 +353,10 @@ class TrainingSession {
   /// and the synthetic tiling are both immutable, so the node grouping is
   /// computed once here, not per simulated iteration.
   std::vector<comm::RankGroup> dp_groups_;
+  /// Live run state between start() and finish() (defined in session.cpp;
+  /// run() keeps its exact pre-stepping behavior by looping over it).
+  struct Run;
+  std::unique_ptr<Run> run_;
 };
 
 }  // namespace dynmo::runtime

@@ -109,7 +109,8 @@ constexpr std::array kMigrationColumns = {
 
 constexpr std::array kElasticTransitionColumns = {
     ColumnSpec{"iter", ColumnType::Int64, "iteration", "iteration index"},
-    ColumnSpec{"kind", ColumnType::String, "1", "repack | shrink | expand"},
+    ColumnSpec{"kind", ColumnType::String, "1",
+               "repack | shrink | expand | preempt"},
     ColumnSpec{"accepted", ColumnType::Bool, "1",
                "false when wanted but rejected by the payoff gate"},
     ColumnSpec{"workers_before", ColumnType::Int64, "workers",
@@ -135,6 +136,35 @@ constexpr std::array kElasticTransitionColumns = {
                "reload instead)"},
 };
 
+constexpr std::array kFleetDecisionColumns = {
+    ColumnSpec{"time_s", ColumnType::Float64, "s",
+               "fleet clock when the decision fired"},
+    ColumnSpec{"job", ColumnType::String, "1", "pod name of the claimant"},
+    ColumnSpec{"kind", ColumnType::String, "1",
+               "admit | grant | deny | release | preempt | finish"},
+    ColumnSpec{"accepted", ColumnType::Bool, "1",
+               "false for deny rows and refused preemptions"},
+    ColumnSpec{"priority", ColumnType::Int64, "1",
+               "claimant's priority class (higher preempts lower)"},
+    ColumnSpec{"gpus_before", ColumnType::Int64, "gpus",
+               "claimant's allocation before the decision"},
+    ColumnSpec{"gpus_after", ColumnType::Int64, "gpus",
+               "allocation after (the wanted target when denied)"},
+    ColumnSpec{"pool_free_before", ColumnType::Int64, "gpus",
+               "unreserved free GPUs in the pool before"},
+    ColumnSpec{"pool_free_after", ColumnType::Int64, "gpus",
+               "unreserved free GPUs after"},
+    ColumnSpec{"fair_share", ColumnType::Float64, "gpus",
+               "claimant's weighted max-min fair share at decision time"},
+    ColumnSpec{"projected_gain_gpu_s", ColumnType::Float64, "gpu*s",
+               "projected fleet-wide GPU-time gain over the payoff window"},
+    ColumnSpec{"exposed_cost_gpu_s", ColumnType::Float64, "gpu*s",
+               "exposed cost the fleet-payoff rule weighed (victim restart "
+               "stall + its slowdown at the reduced footprint)"},
+    ColumnSpec{"victim", ColumnType::String, "1",
+               "preempted job (preempt rows; empty otherwise)"},
+};
+
 constexpr std::array kTables = {
     TableSpec{"iterations", "iterations.jsonl",
               "one row per simulated iteration", kIterationColumns},
@@ -150,6 +180,10 @@ constexpr std::array kTables = {
               "re-packs and elastic shrink/expand restarts with the "
               "restart-stall breakdown",
               kElasticTransitionColumns},
+    TableSpec{"fleet_decisions", "fleet_decisions.jsonl",
+              "every fleet arbiter admit/grant/deny/release/preempt "
+              "verdict with its fleet-payoff pricing",
+              kFleetDecisionColumns},
 };
 
 }  // namespace

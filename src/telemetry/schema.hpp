@@ -8,7 +8,7 @@
 // schema version under "_v"; readers reject rows from a different version
 // instead of silently misinterpreting them.
 //
-// The five tables (docs/TELEMETRY.md has the full column reference):
+// The six tables (docs/TELEMETRY.md has the full column reference):
 //   iterations           one row per simulated iteration
 //   stage_loads          one row per (iteration, stage), with the
 //                        per-layer load/memory arrays replay feeds back
@@ -16,6 +16,9 @@
 //   migrations           every planned layer transfer that was executed
 //   elastic_transitions  re-packs and elastic shrink/expand restarts,
 //                        with the restart-stall breakdown
+//   fleet_decisions      every fleet::Arbiter admit/grant/deny/release/
+//                        preempt verdict with its fleet-payoff pricing
+//                        (empty in single-session traces)
 #pragma once
 
 #include <cstdint>
@@ -122,7 +125,7 @@ struct MigrationRow {
 
 struct ElasticTransitionRow {
   std::int64_t iter = 0;
-  std::string kind;  ///< repack | shrink | expand
+  std::string kind;  ///< repack | shrink | expand | preempt
   bool accepted = false;  ///< false → wanted but rejected by the payoff gate
   std::int64_t workers_before = 0;
   std::int64_t workers_after = 0;
@@ -137,6 +140,36 @@ struct ElasticTransitionRow {
   double migrated_bytes = 0.0;  ///< repack transfers; restarts move none
 
   bool operator==(const ElasticTransitionRow&) const = default;
+};
+
+/// One fleet::Arbiter verdict (docs/FLEET.md): who asked for GPUs, what
+/// the arbiter decided, and the fleet-payoff pricing behind it.  Written
+/// by the arbiter's own TraceWriter, so `time_s` is the fleet clock, not
+/// an iteration index.
+struct FleetDecisionRow {
+  double time_s = 0.0;   ///< fleet clock when the decision fired
+  std::string job;       ///< pod name of the claimant
+  /// admit (baseline claim at arrival) | grant / deny (expand PATCH) |
+  /// release (shrink PATCH) | preempt (forced shrink of a victim) |
+  /// finish (job completed, allocation returned).
+  std::string kind;
+  bool accepted = false;
+  std::int64_t priority = 0;    ///< claimant's priority class
+  std::int64_t gpus_before = 0;  ///< claimant's allocation before
+  std::int64_t gpus_after = 0;   ///< after (the wanted target when denied)
+  std::int64_t pool_free_before = 0;  ///< unreserved free GPUs before
+  std::int64_t pool_free_after = 0;
+  /// Claimant's weighted max-min fair share at decision time.
+  double fair_share = 0.0;
+  /// Fleet-payoff pricing (GPU-seconds over the payoff window): projected
+  /// fleet-wide gpu_hours_saved gain vs. the exposed cost (victim restart
+  /// stall + its slowdown at the reduced footprint).  0/0 for unpriced
+  /// kinds (admit from free capacity, release, finish).
+  double projected_gain_gpu_s = 0.0;
+  double exposed_cost_gpu_s = 0.0;
+  std::string victim;  ///< preempted job (preempt rows; empty otherwise)
+
+  bool operator==(const FleetDecisionRow&) const = default;
 };
 
 /// Run-level metadata recorded in catalog.json: everything offline replay

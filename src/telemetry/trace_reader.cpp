@@ -228,6 +228,31 @@ std::vector<ElasticTransitionRow> TraceReader::elastic_transitions() const {
   return rows;
 }
 
+std::vector<FleetDecisionRow> TraceReader::fleet_decisions() const {
+  std::vector<FleetDecisionRow> rows;
+  for_each_row(
+      read_file(table_spec("fleet_decisions").file),
+      "fleet_decisions", [&](const JsonValue& v) {
+        FleetDecisionRow r;
+        r.time_s = member(v, "time_s").as_double();
+        r.job = member(v, "job").as_string();
+        r.kind = member(v, "kind").as_string();
+        r.accepted = member(v, "accepted").as_bool();
+        r.priority = member(v, "priority").as_int();
+        r.gpus_before = member(v, "gpus_before").as_int();
+        r.gpus_after = member(v, "gpus_after").as_int();
+        r.pool_free_before = member(v, "pool_free_before").as_int();
+        r.pool_free_after = member(v, "pool_free_after").as_int();
+        r.fair_share = member(v, "fair_share").as_double();
+        r.projected_gain_gpu_s =
+            member(v, "projected_gain_gpu_s").as_double();
+        r.exposed_cost_gpu_s = member(v, "exposed_cost_gpu_s").as_double();
+        r.victim = member(v, "victim").as_string();
+        rows.push_back(std::move(r));
+      });
+  return rows;
+}
+
 balance::ReplayedLoads TraceReader::replayed_loads() const {
   const auto rows = stage_loads();
   DYNMO_CHECK(!rows.empty(), "trace has no stage_loads rows");

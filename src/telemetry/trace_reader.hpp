@@ -53,6 +53,7 @@ class TraceReader {
   std::vector<RebalanceDecisionRow> rebalance_decisions() const;
   std::vector<MigrationRow> migrations() const;
   std::vector<ElasticTransitionRow> elastic_transitions() const;
+  std::vector<FleetDecisionRow> fleet_decisions() const;
 
   /// Reassemble the per-layer load history from stage_loads (frames in
   /// iteration order, per-layer arrays concatenated across stages).

@@ -196,6 +196,24 @@ void TraceWriter::write_elastic_transition(const ElasticTransitionRow& r) {
   append_row(table("elastic_transitions"), std::move(b).finish());
 }
 
+void TraceWriter::write_fleet_decision(const FleetDecisionRow& r) {
+  RowBuilder b;
+  b.field("time_s", r.time_s)
+      .field("job", r.job)
+      .field("kind", r.kind)
+      .field("accepted", r.accepted)
+      .field("priority", r.priority)
+      .field("gpus_before", r.gpus_before)
+      .field("gpus_after", r.gpus_after)
+      .field("pool_free_before", r.pool_free_before)
+      .field("pool_free_after", r.pool_free_after)
+      .field("fair_share", r.fair_share)
+      .field("projected_gain_gpu_s", r.projected_gain_gpu_s)
+      .field("exposed_cost_gpu_s", r.exposed_cost_gpu_s)
+      .field("victim", r.victim);
+  append_row(table("fleet_decisions"), std::move(b).finish());
+}
+
 void TraceWriter::write_catalog() {
   std::string out = "{\n";
   out += "  \"format\": \"";

@@ -36,6 +36,7 @@ class TraceWriter {
   void write_rebalance_decision(const RebalanceDecisionRow& row);
   void write_migration(const MigrationRow& row);
   void write_elastic_transition(const ElasticTransitionRow& row);
+  void write_fleet_decision(const FleetDecisionRow& row);
 
   /// Flush all tables and write catalog.json.  Idempotent; rows written
   /// after finalize() reopen the pending state and require another call.
@@ -59,7 +60,7 @@ class TraceWriter {
   RunInfo run_;
   mutable std::mutex mu_;
   // Indexed in table_specs() order.
-  Table tables_[5];
+  Table tables_[6];
   bool finalized_ = false;
 };
 

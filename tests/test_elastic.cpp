@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <thread>
 
 #include "cluster/deployment.hpp"
 #include "cluster/topology.hpp"
@@ -16,6 +18,7 @@
 #include "model/layer.hpp"
 #include "runtime/elastic.hpp"
 #include "runtime/session.hpp"
+#include "telemetry/trace_reader.hpp"
 
 namespace dynmo {
 namespace {
@@ -190,6 +193,55 @@ TEST(ElasticController, RestartStallScalesWithStateAndFloorsAtAlpha) {
   EXPECT_GT(heavy_s, light);
 }
 
+// The over-grant regression (ISSUE 7): the control plane used to track a
+// single shared allocation counter, so a second pod's baseline PATCH
+// corrupted the first pod's accounting and faked free capacity.  With
+// per-pod claims, grow grants can never sum past what was actually free.
+TEST(MockEck, TwoClientsCannotGrowPastTheFreeCapacity) {
+  repack::MockEckCluster eck(8);
+  repack::JobManagerClient a(&eck, "pod-a", 8);
+  ASSERT_TRUE(a.resize_gpu_claim(5));  // releases 3
+  ASSERT_EQ(eck.free_gpus(), 3);
+
+  // A second pod's baseline claim is trusted but must not disturb pod-a's
+  // accounting or the free pool (the old single-counter bug did both).
+  repack::JobManagerClient b(&eck, "pod-b", 2);
+  EXPECT_EQ(eck.free_gpus(), 3);
+
+  // pod-a reclaims its release in full; pod-b's grow then finds nothing.
+  EXPECT_TRUE(a.resize_gpu_claim(8));
+  EXPECT_EQ(eck.free_gpus(), 0);
+  EXPECT_FALSE(b.resize_gpu_claim(4));
+  EXPECT_EQ(b.claimed_gpus(), 2);
+  EXPECT_EQ(eck.free_gpus(), 0);
+}
+
+TEST(MockEck, ConcurrentGrowsNeverOversubscribe) {
+  repack::MockEckCluster eck(16);
+  repack::JobManagerClient releaser(&eck, "releaser", 8);
+  ASSERT_TRUE(releaser.resize_gpu_claim(0));
+  ASSERT_EQ(eck.free_gpus(), 8);
+
+  // Two clients race one-GPU-at-a-time grows until the API refuses.
+  repack::JobManagerClient a(&eck, "racer-a", 0);
+  repack::JobManagerClient b(&eck, "racer-b", 0);
+  const auto race = [](repack::JobManagerClient& c) {
+    while (c.resize_gpu_claim(c.claimed_gpus() + 1)) {
+    }
+  };
+  std::thread ta(race, std::ref(a));
+  std::thread tb(race, std::ref(b));
+  ta.join();
+  tb.join();
+
+  // Atomic grants: however the race interleaved, exactly the free
+  // capacity was handed out — never more.
+  EXPECT_EQ(a.claimed_gpus() + b.claimed_gpus(), 8);
+  EXPECT_EQ(eck.free_gpus(), 0);
+  EXPECT_GE(a.claimed_gpus(), 0);
+  EXPECT_GE(b.claimed_gpus(), 0);
+}
+
 TEST(Deployment, PrefixKeepsLeadingRanksAndDpWidth) {
   const auto topo = cluster::Topology::make_homogeneous(
       4, 4, hw::GpuSpec::h100_sxm5(),
@@ -334,6 +386,96 @@ TEST(SessionElastic, ElasticAndRepackAreMutuallyExclusive) {
   cfg.repack = true;
   SpikeEngine engine(1000, 2000, 4);
   EXPECT_THROW((void)runtime::TrainingSession(m, cfg, &engine), Error);
+}
+
+// Satellite 3 (ISSUE 7): an externally-initiated shrink — the fleet
+// arbiter's preemption hook — takes the same checkpoint-coordinated path
+// a voluntary shrink does (restart stall with a full breakdown, a
+// "preempt" elastic_transitions row, the shrink PATCH against the control
+// plane), and the modeled outcome is identical across identical runs.
+TEST(SessionElastic, ForcedShrinkTakesTheCheckpointPathDeterministically) {
+  const auto m = spike_model();
+
+  const auto run_once = [&m](const std::string& trace_dir) {
+    auto cfg = spike_session_config();
+    cfg.iterations = 1000;
+    cfg.elastic.enabled = true;
+    cfg.elastic.interval = 500;
+    cfg.elastic.min_workers = 2;
+    // A window too tight for any voluntary transition to amortize: every
+    // footprint change observed below must be the forced one.
+    cfg.elastic.payoff_window_iters = 1e-3;
+    cfg.elastic.restart_alpha_s = 0.5;
+    cfg.elastic.checkpoint_bw = 16.0 * 1024 * 1024 * 1024;
+    cfg.telemetry.dir = trace_dir;
+    repack::MockEckCluster eck(8);
+    cfg.elastic.cluster = &eck;
+
+    runtime::TrainingSession session(m, cfg, nullptr);
+    session.start();
+    // A few windows at full depth, then the "arbiter" preempts the job
+    // down to 5 workers mid-run.
+    for (int i = 0; i < 10; ++i) (void)session.step();
+    session.request_shrink(5);
+    (void)session.step();
+    EXPECT_EQ(session.active_workers(), 5);
+    EXPECT_EQ(eck.free_gpus(), 3);  // the shrink PATCH landed
+    while (!session.done()) (void)session.step();
+    return session.finish();
+  };
+
+  const auto base =
+      std::filesystem::path(testing::TempDir()) / "forced_shrink_trace";
+  std::filesystem::remove_all(base);
+  const auto a = run_once((base / "a").string());
+
+  EXPECT_EQ(a.forced_shrinks, 1);
+  EXPECT_EQ(a.shrinks, 0);   // nothing voluntary happened
+  EXPECT_EQ(a.expands, 0);   // the tight window held the smaller footprint
+  EXPECT_GT(a.restart_stall_s, 0.0);
+  EXPECT_GT(a.gpu_hours_saved, 0.0);
+  EXPECT_EQ(a.final_map.num_stages(), 5);
+
+  // The trace shows the checkpoint path: one accepted "preempt" row whose
+  // stall carries the full restart breakdown (respawn + bootstrap +
+  // busiest-shard checkpoint write/read) — not a zero-cost reassignment.
+  telemetry::TraceReader reader((base / "a").string());
+  std::vector<telemetry::ElasticTransitionRow> preempts;
+  for (const auto& row : reader.elastic_transitions()) {
+    if (row.kind == "preempt") preempts.push_back(row);
+  }
+  ASSERT_EQ(preempts.size(), 1u);
+  EXPECT_TRUE(preempts[0].accepted);
+  EXPECT_EQ(preempts[0].workers_before, 8);
+  EXPECT_EQ(preempts[0].workers_after, 5);
+  EXPECT_DOUBLE_EQ(preempts[0].stall_s, a.restart_stall_s);
+  EXPECT_GT(preempts[0].alpha_s, 0.0);
+  EXPECT_GT(preempts[0].ckpt_write_s, 0.0);
+  EXPECT_GT(preempts[0].ckpt_read_s, 0.0);
+
+  // Determinism: the identical run, preempted at the identical window,
+  // reproduces every modeled quantity exactly.  (Wall-clock totals carry
+  // measured balancer-decision overhead and are not compared bit-for-bit —
+  // see docs/RUNTIME.md.)
+  const auto b = run_once((base / "b").string());
+  EXPECT_EQ(b.forced_shrinks, a.forced_shrinks);
+  EXPECT_DOUBLE_EQ(b.restart_stall_s, a.restart_stall_s);
+  EXPECT_DOUBLE_EQ(b.avg_idleness, a.avg_idleness);
+  EXPECT_DOUBLE_EQ(b.avg_bubble_ratio, a.avg_bubble_ratio);
+  EXPECT_DOUBLE_EQ(b.avg_active_workers, a.avg_active_workers);
+  EXPECT_DOUBLE_EQ(b.peak_stage_memory, a.peak_stage_memory);
+  ASSERT_EQ(b.samples.size(), a.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(b.samples[i].iter, a.samples[i].iter);
+    EXPECT_EQ(b.samples[i].active_workers, a.samples[i].active_workers);
+    EXPECT_DOUBLE_EQ(b.samples[i].idleness, a.samples[i].idleness);
+  }
+  ASSERT_EQ(b.final_map.num_stages(), a.final_map.num_stages());
+  for (int s = 0; s < a.final_map.num_stages(); ++s) {
+    EXPECT_EQ(b.final_map.stage_begin(s), a.final_map.stage_begin(s));
+    EXPECT_EQ(b.final_map.stage_end(s), a.final_map.stage_end(s));
+  }
+  std::filesystem::remove_all(base);
 }
 
 }  // namespace

@@ -109,6 +109,21 @@ TEST(Telemetry, WriterReaderRoundTrip) {
   et.projected_gain_s = 30.0;
   et.migrated_bytes = 0.0;
 
+  telemetry::FleetDecisionRow fd;
+  fd.time_s = 123.5;
+  fd.job = "job-a";
+  fd.kind = "preempt";
+  fd.accepted = true;
+  fd.priority = 2;
+  fd.gpus_before = 8;
+  fd.gpus_after = 5;
+  fd.pool_free_before = 0;
+  fd.pool_free_after = 3;
+  fd.fair_share = 5.25;
+  fd.projected_gain_gpu_s = 900.0;
+  fd.exposed_cost_gpu_s = 120.0;
+  fd.victim = "job-b";
+
   {
     telemetry::TelemetryConfig cfg;
     cfg.dir = dir;
@@ -118,15 +133,17 @@ TEST(Telemetry, WriterReaderRoundTrip) {
     writer.write_rebalance_decision(rd);
     writer.write_migration(mg);
     writer.write_elastic_transition(et);
+    writer.write_fleet_decision(fd);
     EXPECT_EQ(writer.rows_written("iterations"), 1);
     EXPECT_EQ(writer.rows_written("elastic_transitions"), 1);
+    EXPECT_EQ(writer.rows_written("fleet_decisions"), 1);
     writer.finalize();
   }
 
   telemetry::TraceReader reader(dir);
   EXPECT_EQ(reader.catalog().format, telemetry::kTraceFormat);
   EXPECT_EQ(reader.catalog().schema_version, telemetry::kSchemaVersion);
-  EXPECT_EQ(reader.catalog().tables.size(), 5u);
+  EXPECT_EQ(reader.catalog().tables.size(), 6u);
 
   const auto& r = reader.run();
   EXPECT_EQ(r.producer, run.producer);
@@ -151,6 +168,8 @@ TEST(Telemetry, WriterReaderRoundTrip) {
   EXPECT_EQ(reader.migrations()[0], mg);
   ASSERT_EQ(reader.elastic_transitions().size(), 1u);
   EXPECT_EQ(reader.elastic_transitions()[0], et);
+  ASSERT_EQ(reader.fleet_decisions().size(), 1u);
+  EXPECT_EQ(reader.fleet_decisions()[0], fd);
 }
 
 TEST(Telemetry, ReaderRejectsMissingDirectory) {

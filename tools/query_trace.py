@@ -12,6 +12,10 @@ Usage:
   query_trace.py TRACE_DIR TABLE -c iter,load_s   # column selection
   query_trace.py TRACE_DIR TABLE -w 'stage=3' -w 'load_s>0.1'
   query_trace.py TRACE_DIR TABLE --json           # JSONL output
+
+Fleet traces (producer "fleet", docs/FLEET.md) add the fleet_decisions
+table — every arbiter verdict with its payoff pricing:
+  query_trace.py TRACE_DIR fleet_decisions -w 'kind=preempt'
 """
 
 import argparse
