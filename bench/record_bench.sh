@@ -8,6 +8,7 @@
 #   bench/BENCH_elastic.json           (elastic shrink/expand thresholds)
 #   bench/BENCH_fleet.json             (fleet arbiter vs static equal-split)
 #   bench/BENCH_trace_overhead.json    (telemetry observer-effect gate)
+#   bench/BENCH_fault.json             (MTBF x checkpoint-cadence sweep)
 #   bench/BENCH_fig3_<use_case>.json   (the six Figure-3 panels)
 # with the current aggregates.  All bench arithmetic is deterministic
 # (fixed seeds, analytic cost models) and throughputs are rounded past the
@@ -16,10 +17,11 @@
 # commit the files alongside the change that moved them.  See
 # docs/BENCHMARKS.md for the schemas.
 #
-# Usage: bench/record_bench.sh [build-dir]   (default: build)
+# Usage: bench/record_bench.sh [--only <name>]... [build-dir]
+#   --only <name>   re-record just BENCH_<name>.json (repeatable);
+#                   default records every bench below.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-BUILD_DIR=${1:-build}
 
 BENCHES=(
   topology_balance
@@ -28,6 +30,7 @@ BENCHES=(
   elastic
   fleet
   trace_overhead
+  fault
   fig3_early_exit
   fig3_freezing
   fig3_mod
@@ -35,6 +38,30 @@ BENCHES=(
   fig3_pruning
   fig3_sparse_attn
 )
+
+BUILD_DIR=build
+ONLY=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --only)
+      [ $# -ge 2 ] || { echo "--only needs a bench name" >&2; exit 2; }
+      ONLY+=("$2")
+      shift 2
+      ;;
+    *)
+      BUILD_DIR=$1
+      shift
+      ;;
+  esac
+done
+if [ ${#ONLY[@]} -gt 0 ]; then
+  for o in "${ONLY[@]}"; do
+    ok=0
+    for b in "${BENCHES[@]}"; do [ "$b" = "$o" ] && ok=1; done
+    [ $ok -eq 1 ] || { echo "unknown bench '$o' (known: ${BENCHES[*]})" >&2; exit 2; }
+  done
+  BENCHES=("${ONLY[@]}")
+fi
 
 cmake -B "$BUILD_DIR" -S . -DDYNMO_BUILD_BENCH=ON >/dev/null
 for b in "${BENCHES[@]}"; do

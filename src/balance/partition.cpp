@@ -18,19 +18,29 @@ struct ProbeResult {
 
 /// Greedy maximal packing: each stage takes layers while staying within the
 /// load cap and the memory cap.  Returns whether <= num_stages were used.
+/// With per-stage capacities, stage s's load budget is cap * caps[s]: for a
+/// fixed stage order, filling each stage to its own budget uses the minimum
+/// number of stages, so the parametric search stays exact under
+/// heterogeneous speeds.
 ProbeResult probe_maximal(std::span<const double> w,
                           std::span<const double> mem, double cap,
-                          double memcap, int num_stages) {
+                          double memcap, int num_stages,
+                          std::span<const double> caps) {
   ProbeResult r;
   r.boundaries.push_back(0);
+  const auto stage_cap = [&](std::size_t s) {
+    if (caps.empty()) return cap;
+    return cap * caps[std::min(s, caps.size() - 1)];
+  };
   double load = 0.0;
   double m = 0.0;
   double bottleneck = 0.0;
   for (std::size_t i = 0; i < w.size(); ++i) {
     const double lw = w[i];
     const double lm = mem.empty() ? 0.0 : mem[i];
+    const std::size_t stage = r.boundaries.size() - 1;
     const bool stage_empty = (r.boundaries.back() == i);
-    const bool over_load = load + lw > cap && !stage_empty;
+    const bool over_load = load + lw > stage_cap(stage) && !stage_empty;
     const bool over_mem = memcap > 0.0 && m + lm > memcap && !stage_empty;
     if (over_load || over_mem) {
       bottleneck = std::max(bottleneck, load);
@@ -59,15 +69,24 @@ ProbeResult probe_maximal(std::span<const double> w,
 /// then keep the maximal packing).
 std::optional<std::vector<std::size_t>> probe_balanced(
     std::span<const double> w, std::span<const double> mem, double cap,
-    double memcap, int num_stages) {
+    double memcap, int num_stages, std::span<const double> caps) {
   std::vector<std::size_t> b;
   b.push_back(0);
   const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  const double caps_total =
+      caps.empty() ? static_cast<double>(num_stages)
+                   : std::accumulate(caps.begin(), caps.end(), 0.0);
   double remaining = total;
+  double caps_left = caps_total;
   std::size_t i = 0;
   for (int s = 0; s < num_stages; ++s) {
-    const int stages_left = num_stages - s;
-    const double target = remaining / stages_left;
+    // Capacity-weighted share of the remaining load: a half-speed stage
+    // aims at half the average.
+    const double my_cap =
+        caps.empty() ? 1.0 : caps[static_cast<std::size_t>(s)];
+    const double target = remaining * my_cap / std::max(1e-12, caps_left);
+    const double load_cap = caps.empty() ? cap : cap * my_cap;
+    caps_left -= my_cap;
     double load = 0.0;
     double m = 0.0;
     while (i < w.size()) {
@@ -77,7 +96,7 @@ std::optional<std::vector<std::size_t>> probe_balanced(
       const double lm = mem.empty() ? 0.0 : mem[i];
       const bool stage_empty = (b.back() == i);
       if (!stage_empty) {
-        if (load + lw > cap) break;
+        if (load + lw > load_cap) break;
         if (memcap > 0.0 && m + lm > memcap) break;
         // Past the target and adding would overshoot more than stopping.
         if (load >= target ||
@@ -109,7 +128,8 @@ double PartitionBalancer::optimal_bottleneck(std::span<const double> weights,
   double hi = total;
   for (int it = 0; it < 100 && hi - lo > 1e-12 * std::max(1.0, hi); ++it) {
     const double mid = 0.5 * (lo + hi);
-    if (probe_maximal(weights, empty_mem, mid, 0.0, num_stages).fits_stages) {
+    if (probe_maximal(weights, empty_mem, mid, 0.0, num_stages, {})
+            .fits_stages) {
       hi = mid;
     } else {
       lo = mid;
@@ -124,23 +144,45 @@ PartitionResult PartitionBalancer::balance(const PartitionRequest& req) const {
   DYNMO_CHECK(req.memory_bytes.empty() ||
                   req.memory_bytes.size() == req.weights.size(),
               "memory vector size mismatch");
+  DYNMO_CHECK(req.capacities.empty() ||
+                  req.capacities.size() ==
+                      static_cast<std::size_t>(req.num_stages),
+              "capacity vector covers " << req.capacities.size()
+                                        << " stages, request has "
+                                        << req.num_stages);
+  for (const double c : req.capacities) {
+    DYNMO_CHECK(c > 0.0, "stage capacities must be > 0");
+  }
 
   const std::span<const double> w(req.weights);
   const std::span<const double> mem(req.memory_bytes);
+  const std::span<const double> caps(req.capacities);
 
-  double lo = *std::max_element(w.begin(), w.end());
   const double total = std::accumulate(w.begin(), w.end(), 0.0);
-  lo = std::max(lo, total / req.num_stages);
-  double hi = total;
+  double max_cap = 1.0;
+  double min_cap = 1.0;
+  double cap_sum = static_cast<double>(req.num_stages);
+  if (!caps.empty()) {
+    max_cap = *std::max_element(caps.begin(), caps.end());
+    min_cap = *std::min_element(caps.begin(), caps.end());
+    cap_sum = std::accumulate(caps.begin(), caps.end(), 0.0);
+  }
+  // Bounds on the normalized bottleneck: the heaviest layer must land
+  // somewhere (best case the fastest stage); total work over total
+  // capacity; everything fits the first stage at hi.
+  double lo = *std::max_element(w.begin(), w.end()) / max_cap;
+  lo = std::max(lo, total / cap_sum);
+  double hi = total / min_cap;
 
   // Parametric search over the bottleneck value.  The memory constraint can
   // make low caps infeasible even when pure-load packing would fit, so the
   // probe enforces both.
   bool any_feasible =
-      probe_maximal(w, mem, hi, req.mem_capacity, req.num_stages).fits_stages;
+      probe_maximal(w, mem, hi, req.mem_capacity, req.num_stages, caps)
+          .fits_stages;
   if (!any_feasible) {
     // Memory alone forces more than num_stages stages — report least-bad.
-    auto r = probe_maximal(w, mem, hi, req.mem_capacity, req.num_stages);
+    auto r = probe_maximal(w, mem, hi, req.mem_capacity, req.num_stages, caps);
     r.boundaries.resize(static_cast<std::size_t>(req.num_stages));
     r.boundaries.push_back(w.size());
     PartitionResult out;
@@ -153,7 +195,7 @@ PartitionResult PartitionBalancer::balance(const PartitionRequest& req) const {
 
   for (int it = 0; it < 100 && hi - lo > 1e-12 * std::max(1.0, hi); ++it) {
     const double mid = 0.5 * (lo + hi);
-    if (probe_maximal(w, mem, mid, req.mem_capacity, req.num_stages)
+    if (probe_maximal(w, mem, mid, req.mem_capacity, req.num_stages, caps)
             .fits_stages) {
       hi = mid;
     } else {
@@ -164,14 +206,14 @@ PartitionResult PartitionBalancer::balance(const PartitionRequest& req) const {
   const double cap = hi * (1.0 + 1e-9);
 
   auto final_probe = probe_maximal(w, mem, cap, req.mem_capacity,
-                                   req.num_stages);
+                                   req.num_stages, caps);
   DYNMO_CHECK(final_probe.fits_stages, "final probe must fit");
 
   // Prefer the balanced variant when it matches the optimal bottleneck —
   // it avoids front-loaded stages with empty tails.
   std::vector<std::size_t> boundaries = final_probe.boundaries;
-  if (auto balanced =
-          probe_balanced(w, mem, cap, req.mem_capacity, req.num_stages)) {
+  if (auto balanced = probe_balanced(w, mem, cap, req.mem_capacity,
+                                     req.num_stages, caps)) {
     boundaries = std::move(*balanced);
   }
 

@@ -27,6 +27,12 @@ struct PartitionRequest {
   std::vector<double> memory_bytes;  ///< per-layer memory (may be empty)
   double mem_capacity = 0.0;         ///< per-stage cap; <=0 → unconstrained
   int num_stages = 1;
+  /// Relative per-stage speed factors (1.0 = healthy, 0.5 = half speed —
+  /// e.g. a degraded GPU reported by the fault injector).  Empty →
+  /// homogeneous.  When set (size == num_stages, all > 0) the search
+  /// minimizes the *capacity-normalized* bottleneck max_s(load_s / cap_s),
+  /// so layers route away from slow stages.
+  std::vector<double> capacities;
 };
 
 struct PartitionResult {

@@ -50,6 +50,7 @@ RebalanceOutcome Rebalancer::rebalance(
       req.memory_bytes = profile.memory_bytes;
       req.mem_capacity = cfg_.mem_capacity;
       req.num_stages = S;
+      req.capacities = cfg_.capacities;
       out.map = PartitionBalancer{}.balance(req).map;
       break;
     }

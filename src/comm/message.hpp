@@ -57,8 +57,10 @@ class Packer {
     requires std::is_trivially_copyable_v<T>
   Packer& put_span(std::span<const T> xs) {
     put<std::uint64_t>(xs.size());
-    const auto* p = reinterpret_cast<const std::byte*>(xs.data());
-    buf_.insert(buf_.end(), p, p + xs.size_bytes());
+    if (!xs.empty()) {  // empty span may have a null data() — UB to offset
+      const auto* p = reinterpret_cast<const std::byte*>(xs.data());
+      buf_.insert(buf_.end(), p, p + xs.size_bytes());
+    }
     return *this;
   }
 
@@ -96,8 +98,10 @@ class Unpacker {
     // must overrun, not wrap around and pass the bounds check.
     DYNMO_CHECK(n <= (buf_.size() - pos_) / sizeof(T), "unpack overrun");
     std::vector<T> out(n);
-    std::memcpy(out.data(), buf_.data() + pos_, n * sizeof(T));
-    pos_ += n * sizeof(T);
+    if (n != 0) {  // memcpy requires non-null pointers even for size 0
+      std::memcpy(out.data(), buf_.data() + pos_, n * sizeof(T));
+      pos_ += n * sizeof(T);
+    }
     return out;
   }
 

@@ -41,6 +41,7 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
 
   void reseed(std::uint64_t seed) {
+    origin_ = seed;
     std::uint64_t sm = seed;
     for (auto& word : s_) word = splitmix64(sm);
   }
@@ -48,6 +49,17 @@ class Rng {
   /// Independent substream derived from this seed and the given keys.
   Rng split(std::uint64_t k1, std::uint64_t k2 = 0, std::uint64_t k3 = 0) const {
     return Rng(hash_mix(s_[0] ^ s_[3], hash_mix(k1, k2, k3)));
+  }
+
+  /// Independent substream addressed by a stable stream id.  Unlike
+  /// split(), fork() does not read the *current* engine state — it derives
+  /// from the state as-constructed, so forking never advances this stream
+  /// and two forks of the same id are identical regardless of how many
+  /// draws happened in between.  Consumers that must not perturb an
+  /// existing noise stream (e.g. fault::Injector alongside the session's
+  /// measurement noise) fork their own stream instead of sharing one.
+  Rng fork(std::uint64_t stream_id) const {
+    return Rng(hash_mix(origin_, 0xf02cULL, stream_id));
   }
 
   static constexpr result_type min() { return 0; }
@@ -111,6 +123,7 @@ class Rng {
     return (x << k) | (x >> (64 - k));
   }
   std::uint64_t s_[4]{};
+  std::uint64_t origin_ = 0;  ///< seed as-constructed; basis for fork().
 };
 
 }  // namespace dynmo

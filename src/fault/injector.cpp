@@ -1,0 +1,127 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dynmo::fault {
+
+Injector::Injector(const FaultPlan& plan, int workers, const Rng& session_rng) {
+  DYNMO_CHECK(workers >= 1, "fault::Injector: need at least one worker");
+  Rng rng = session_rng.fork(plan.stream_id);
+
+  // Explicit losses first, then MTBF draws; victims for worker == -1 are
+  // pre-drawn here so the schedule is fixed before the first poll().
+  for (const WorkerLoss& l : plan.losses) {
+    DYNMO_CHECK(l.iter >= 0, "fault: loss iteration must be >= 0");
+    DYNMO_CHECK(l.worker < workers, "fault: loss worker out of range");
+    DYNMO_CHECK(l.worker != 0, "fault: rank 0 is modeled as reliable");
+    Event e;
+    e.iter = l.iter;
+    e.kind = EventKind::WorkerLoss;
+    e.worker = l.worker;  // may be -1: resolved below
+    if (e.worker < 0 && workers > 1) {
+      e.worker = 1 + static_cast<int>(
+                         rng.uniform_int(static_cast<std::uint64_t>(workers - 1)));
+    }
+    if (e.worker >= 1) schedule_.push_back(e);
+  }
+  if (plan.mtbf_iters > 0.0 && plan.horizon_iters > 0 && workers > 1) {
+    double t = 0.0;
+    int drawn = 0;
+    while (drawn < plan.max_mtbf_losses) {
+      // Exponential inter-arrival with mean mtbf_iters.
+      const double u = rng.uniform();
+      t += -plan.mtbf_iters * std::log1p(-u);
+      const int iter = static_cast<int>(std::ceil(t));
+      if (iter >= plan.horizon_iters) break;
+      Event e;
+      e.iter = std::max(1, iter);
+      e.kind = EventKind::WorkerLoss;
+      e.worker = 1 + static_cast<int>(
+                         rng.uniform_int(static_cast<std::uint64_t>(workers - 1)));
+      schedule_.push_back(e);
+      ++drawn;
+    }
+  }
+
+  auto add_window = [&](int worker, double mult, int from, int until,
+                        const char* what) {
+    DYNMO_CHECK(worker >= 0 && worker < workers,
+                "fault: straggler worker out of range");
+    DYNMO_CHECK(mult > 0.0 && mult <= 1.0,
+                "fault: multiplier must be in (0, 1]");
+    DYNMO_CHECK(from >= 0, what);
+    windows_.push_back(Window{worker, mult, from, until});
+    Event on;
+    on.iter = from;
+    on.kind = EventKind::StragglerOnset;
+    on.worker = worker;
+    on.multiplier = mult;
+    schedule_.push_back(on);
+    if (until >= 0) {
+      DYNMO_CHECK(until > from, "fault: empty straggler window");
+      Event off;
+      off.iter = until;
+      off.kind = EventKind::StragglerRecovery;
+      off.worker = worker;
+      off.multiplier = 1.0;
+      schedule_.push_back(off);
+    }
+  };
+  for (const Straggler& s : plan.stragglers)
+    add_window(s.worker, s.multiplier, s.from_iter, s.until_iter,
+               "fault: straggler from_iter must be >= 0");
+  for (const Slowdown& s : plan.slowdowns)
+    add_window(s.worker, s.multiplier, s.from_iter, s.until_iter,
+               "fault: slowdown from_iter must be >= 0");
+
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const Event& a, const Event& b) { return a.iter < b.iter; });
+}
+
+std::vector<Event> Injector::poll(int iter, const std::vector<bool>& alive) {
+  std::vector<Event> fired;
+  while (next_ < schedule_.size() && schedule_[next_].iter <= iter) {
+    Event e = schedule_[next_++];
+    const int n = static_cast<int>(alive.size());
+    if (e.kind == EventKind::WorkerLoss) {
+      // Resolve the pre-drawn candidate against the live mask: first alive
+      // non-zero rank scanning upward from the candidate, wrapping.  Any
+      // observer that agrees on `alive` agrees on the victim.
+      int victim = -1;
+      if (n > 1 && e.worker >= 1) {
+        for (int probe = 0; probe < n - 1; ++probe) {
+          const int w = 1 + (e.worker - 1 + probe) % (n - 1);
+          if (w < n && alive[static_cast<std::size_t>(w)]) {
+            victim = w;
+            break;
+          }
+        }
+      }
+      if (victim < 0) continue;  // nobody left to kill (besides rank 0)
+      e.worker = victim;
+      fired.push_back(e);
+    } else {
+      if (e.worker < 0 || e.worker >= n ||
+          !alive[static_cast<std::size_t>(e.worker)])
+        continue;  // straggler on a dead/absent worker: moot
+      fired.push_back(e);
+    }
+  }
+  return fired;
+}
+
+double Injector::multiplier(int worker, int iter) const {
+  double m = 1.0;
+  for (const Window& w : windows_) {
+    if (w.worker != worker) continue;
+    if (iter < w.from) continue;
+    if (w.until >= 0 && iter >= w.until) continue;
+    m *= w.mult;
+  }
+  return m;
+}
+
+}  // namespace dynmo::fault

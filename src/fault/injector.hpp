@@ -1,0 +1,85 @@
+// Deterministic fault injection (docs/FAULT.md).
+//
+// The Injector compiles a FaultPlan into a concrete, fully-resolved event
+// schedule at construction time: MTBF inter-arrival draws and random
+// victim picks all happen up front on an Rng::fork()'d substream, so the
+// schedule is a pure function of (plan, seed, worker count) — polling
+// order, caller iteration stride, and every other runtime detail cannot
+// perturb it.  Both runtimes interpret the same schedule: the simulated
+// session prices the events, the threaded runtime physically kills and
+// slows workers and must recover bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fault/plan.hpp"
+
+namespace dynmo::fault {
+
+enum class EventKind { WorkerLoss, StragglerOnset, StragglerRecovery };
+
+inline const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::WorkerLoss: return "worker_loss";
+    case EventKind::StragglerOnset: return "straggler_onset";
+    case EventKind::StragglerRecovery: return "straggler_recovery";
+  }
+  return "?";
+}
+
+/// A resolved fault event.  `worker` is the victim rank; for a loss drawn
+/// with worker == -1 it is the pre-drawn *candidate* index — poll()
+/// resolves it against the caller's live mask (first alive non-zero rank
+/// scanning upward with wraparound) so every observer that agrees on the
+/// alive set agrees on the victim.
+struct Event {
+  int iter = 0;
+  EventKind kind = EventKind::WorkerLoss;
+  int worker = -1;
+  double multiplier = 1.0;  ///< straggler events only; 1.0 for losses
+};
+
+class Injector {
+ public:
+  /// `workers` is the job's initial worker count — the victim-draw domain
+  /// [1, workers) and the bound for straggler worker ids.  `session_rng`
+  /// is forked (never advanced): the injector draws from the substream
+  /// addressed by plan.stream_id.
+  Injector(const FaultPlan& plan, int workers, const Rng& session_rng);
+
+  /// Fire every not-yet-fired event scheduled at or before `iter`, in
+  /// schedule order.  `alive[w]` is the caller's live-worker mask; events
+  /// targeting a dead (or out-of-range) worker are dropped, and losses
+  /// with a drawn victim resolve against the mask.  Rank 0 is never a
+  /// resolved loss victim.
+  std::vector<Event> poll(int iter, const std::vector<bool>& alive);
+
+  /// Compute-speed multiplier for `worker` during iteration `iter`: the
+  /// product of every straggler/slowdown window covering it (1.0 =
+  /// healthy).  Pure function of the plan, independent of poll() state.
+  double multiplier(int worker, int iter) const;
+
+  /// True when the plan contains any straggler/slowdown window at all —
+  /// lets hot paths skip per-iteration multiplier scans.
+  bool any_degradation() const { return !windows_.empty(); }
+
+  /// The fully-resolved schedule (losses with worker == -1 appear with
+  /// their pre-drawn candidate index).
+  const std::vector<Event>& schedule() const { return schedule_; }
+
+ private:
+  struct Window {
+    int worker = 0;
+    double mult = 1.0;
+    int from = 0;
+    int until = -1;  ///< exclusive; -1 → open-ended
+  };
+
+  std::vector<Event> schedule_;  ///< sorted by iter (stable)
+  std::vector<Window> windows_;
+  std::size_t next_ = 0;  ///< first unfired schedule entry
+};
+
+}  // namespace dynmo::fault

@@ -1,0 +1,73 @@
+// Declarative fault plans (docs/FAULT.md).
+//
+// A FaultPlan is pure data: which workers die when (explicitly or drawn
+// from an MTBF), which GPUs run persistently slow from some iteration on,
+// and which suffer transient slowdown windows.  The plan is interpreted by
+// fault::Injector, which resolves every random choice deterministically
+// from a forked Rng substream — the same plan + seed always produces the
+// same event schedule, in both the simulated session and the threaded
+// runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dynmo::fault {
+
+/// Kill worker `worker` at the start of iteration `iter`.  worker == -1
+/// lets the injector draw the victim deterministically from its forked
+/// stream (never rank 0 — the coordinator is modeled as reliable, matching
+/// the threaded runtime's rank-0 checkpoint assembly).
+struct WorkerLoss {
+  int iter = 0;
+  int worker = -1;
+};
+
+/// Persistent straggler: from `from_iter` on, worker `worker` computes at
+/// `multiplier` of its healthy speed (0 < multiplier <= 1).  If
+/// `until_iter` >= 0 the GPU recovers at that iteration — the classic
+/// straggler-vs-rebalance race the payoff rule must not thrash on.
+struct Straggler {
+  int worker = 0;
+  double multiplier = 0.5;
+  int from_iter = 0;
+  int until_iter = -1;  ///< exclusive; -1 → never recovers
+};
+
+/// Transient slowdown window — sugar for a straggler that recovers.
+struct Slowdown {
+  int worker = 0;
+  double multiplier = 0.5;
+  int from_iter = 0;
+  int until_iter = 0;  ///< exclusive
+};
+
+/// A complete seeded fault scenario.  Default-constructed plans are empty
+/// (empty() == true) and cost nothing: the runtimes skip the injector
+/// entirely.
+struct FaultPlan {
+  /// Explicit worker-loss events (in addition to any MTBF draws).
+  std::vector<WorkerLoss> losses;
+  /// Mean iterations between failures.  > 0 draws loss iterations from an
+  /// exponential inter-arrival process on the injector's forked stream;
+  /// victims are drawn uniformly from the live non-zero ranks.
+  double mtbf_iters = 0.0;
+  /// Upper bound on MTBF-drawn losses (explicit losses not counted).
+  int max_mtbf_losses = 4;
+  /// Horizon for MTBF draws; draws beyond it are discarded.  <= 0 → the
+  /// runtime substitutes its own run length (session iterations, threaded
+  /// plan length) before constructing the injector.
+  int horizon_iters = 0;
+  std::vector<Straggler> stragglers;
+  std::vector<Slowdown> slowdowns;
+  /// Rng::fork() stream id for the injector — distinct plans sharing a
+  /// session seed draw from independent substreams.
+  std::uint64_t stream_id = 0xfa17ULL;
+
+  bool empty() const {
+    return losses.empty() && stragglers.empty() && slowdowns.empty() &&
+           !(mtbf_iters > 0.0);
+  }
+};
+
+}  // namespace dynmo::fault

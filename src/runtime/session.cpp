@@ -10,6 +10,7 @@
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "dynamic/freezing.hpp"
+#include "fault/injector.hpp"
 #include "runtime/checkpoint.hpp"
 
 namespace dynmo::runtime {
@@ -99,6 +100,14 @@ struct TrainingSession::Run {
   std::optional<balance::Rebalancer> rebalancer;
   std::optional<telemetry::TraceWriter> trace;
   std::optional<ElasticController> elastic;
+  std::optional<fault::Injector> injector;
+  /// Healthy per-stage capacities (S0-sized; empty → uniform) — the base
+  /// straggler degradation multiplies into at rebalance points.
+  std::vector<double> base_capacities;
+  bool capacities_degraded = false;
+  std::int64_t last_ckpt_iter = 0;  ///< iteration of the newest checkpoint
+  double since_ckpt_s = 0.0;  ///< compute seconds a loss would re-do
+  bool failed = false;        ///< unrecoverable loss; done() turns true
   Rng noise_rng;
   SessionResult res;
   RunningStats idleness_stats;
@@ -164,6 +173,15 @@ TrainingSession::TrainingSession(const model::ModelDesc& model,
                                     << ") and sim_stride ("
                                     << cfg.sim_stride << ")");
   }
+  DYNMO_CHECK(cfg.checkpoint_interval_iters >= 0 &&
+                  cfg.checkpoint_interval_iters % cfg.sim_stride == 0,
+              "checkpoint_interval_iters must be a non-negative multiple of "
+              "sim_stride");
+  DYNMO_CHECK((cfg.fault.losses.empty() && !(cfg.fault.mtbf_iters > 0.0)) ||
+                  cfg.elastic.enabled,
+              "worker-loss injection recovers through the elastic shrink "
+              "path; the fault plan's losses/mtbf need elastic.enabled "
+              "(straggler-only plans work anywhere)");
   if (cfg_.data_parallel > 1) {
     const bool grid = deployment_ && deployment_->data_parallel() > 1;
     dp_groups_.reserve(static_cast<std::size_t>(cfg_.pipeline_stages));
@@ -514,12 +532,24 @@ void TrainingSession::start() {
     });
   }
 
+  // Fault injection (docs/FAULT.md): the injector draws from its own
+  // Rng::fork() substream of the session seed, so enabling a plan leaves
+  // the measurement-noise stream below bit-identical.
+  if (!cfg_.fault.empty()) {
+    fault::FaultPlan plan = cfg_.fault;
+    if (plan.mtbf_iters > 0.0 && plan.horizon_iters <= 0) {
+      plan.horizon_iters = static_cast<int>(cfg_.iterations);
+    }
+    R.injector.emplace(plan, W0, Rng(cfg_.seed));
+  }
+  R.base_capacities = rb_cfg.capacities;
+
   R.noise_rng = Rng(hash_mix(cfg_.seed, 0x7e55));
 }
 
 bool TrainingSession::done() const {
   DYNMO_CHECK(run_ != nullptr, "done() before start()");
-  return run_->iter >= cfg_.iterations;
+  return run_->failed || run_->iter >= cfg_.iterations;
 }
 
 std::int64_t TrainingSession::current_iter() const {
@@ -695,6 +725,144 @@ void TrainingSession::execute_forced_shrink(double& event_time,
   event_time += polish.total_s();
 }
 
+void TrainingSession::execute_worker_loss(int victim, double& event_time,
+                                          double& iter_restart_stall) {
+  auto& R = *run_;
+  auto& res = R.res;
+  const std::int64_t iter = R.iter;
+  const int target = R.active - 1;
+  const auto mem = builder_.layer_memory_bytes(R.states, R.map);
+  const auto layer_seconds = builder_.layer_total_seconds(R.states);
+  const double lost_work = R.since_ckpt_s;
+  const std::int64_t lost_iters = iter - R.last_ckpt_iter;
+
+  const auto emit_fault_row = [&](int workers_after, const RestartStall& st,
+                                  double total_stall) {
+    if (!R.trace) return;
+    telemetry::FaultEventRow row;
+    row.iter = iter;
+    row.kind = "worker_loss";
+    row.worker = victim;
+    row.workers_before = R.active;
+    row.workers_after = workers_after;
+    row.stall_s = total_stall;
+    row.alpha_s = st.alpha_s;
+    row.bootstrap_s = st.bootstrap_s;
+    row.ckpt_write_s = st.ckpt_write_s;
+    row.ckpt_read_s = st.ckpt_read_s;
+    row.lost_work_s = lost_work;
+    row.lost_iters = lost_iters;
+    R.trace->write_fault_event(row);
+  };
+
+  repack::ContiguousRepackRequest req;
+  req.memory_bytes = mem;
+  req.mem_capacity = R.mem_capacity;
+  req.target_workers = std::max(target, 1);
+  const auto rp = repack::repack_contiguous(req, std::max(target, 1));
+  if (target < 1 || !R.elastic || target < R.elastic->min_workers() ||
+      !rp.feasible) {
+    // Unrecoverable: the survivors cannot absorb the model (or none
+    // remain).  The run ends here; nothing further is charged to the
+    // clock — the wasted GPU-time is the fleet layer's ledger, which gets
+    // the failed SessionResult and returns the allocation to the pool.
+    DYNMO_LOG(Warn) << "worker " << victim << " lost at iteration " << iter
+                    << "; survivors cannot continue — failing the run";
+    emit_fault_row(/*workers_after=*/0, RestartStall{}, /*total_stall=*/0.0);
+    ++res.worker_losses;
+    R.failed = true;
+    res.failed = true;
+    return;
+  }
+
+  const RestartStall stall = R.elastic->restart_stall(R.map, rp.map, mem);
+  const double total = stall.total_s() + lost_work;
+  ElasticDecision d;
+  d.action = ElasticAction::Shrink;
+  d.target_workers = target;
+  d.stall = stall;
+  d.restart_stall_s = stall.total_s();
+  // The dead GPU leaves the job's claim: releases always succeed, and the
+  // control plane (pool) owns the repair loop from here.
+  DYNMO_CHECK(R.elastic->commit(d), "control plane refused a release");
+  emit_fault_row(target, stall, total);
+
+  // Recovery is the same checkpoint-coordinated restart a voluntary
+  // shrink takes, except the state comes from the *last periodic
+  // checkpoint* — everything since is re-done, charged as lost work on
+  // top of the restart stall (docs/COST_MODEL.md "Lost-work pricing").
+  // The simulated clock prices the redo without rewinding the iteration
+  // counter: the dynamism trajectory is deterministic, so re-running
+  // [last_ckpt, iter) reproduces the states the session already holds.
+  Checkpoint ckpt;
+  ckpt.iteration = iter;
+  ckpt.stage_map = R.map;
+  ckpt.layer_states.assign(R.states.begin(), R.states.end());
+  auto restored = Checkpoint::deserialize(ckpt.serialize());
+  R.map = rp.map;
+  R.states = std::move(restored.layer_states);
+  R.active = target;
+  event_time += total;
+  res.restart_stall_s += total;
+  iter_restart_stall += total;
+  res.lost_work_s += lost_work;
+  ++res.worker_losses;
+  // The restart writes a fresh checkpoint as part of its stall.
+  R.last_ckpt_iter = iter;
+  R.since_ckpt_s = 0.0;
+  R.rebalancer.emplace(make_rebalancer(R.active));
+  // Raw-profile polish, exactly like a forced shrink: a loss fires
+  // between rebalance points and must not shift the noise stream.
+  balance::LayerProfile profile;
+  profile.time_s = layer_seconds;
+  profile.memory_bytes = mem;
+  profile.params.reserve(model_->num_layers());
+  for (const auto& l : model_->layers) {
+    profile.params.push_back(static_cast<double>(l.params));
+  }
+  const auto rb = R.rebalancer->rebalance(profile, R.map);
+  R.map = rb.map;
+  account_outcome(rb, 1.0, iter, "post_restart");
+  balance::OverheadBreakdown polish = rb.overhead;
+  polish.profile_s = 0.0;
+  res.overhead += polish;
+  event_time += polish.total_s();
+}
+
+void TrainingSession::refresh_capacities(std::int64_t iter) {
+  auto& R = *run_;
+  std::vector<double> caps = R.base_capacities;
+  if (caps.empty()) {
+    caps.assign(static_cast<std::size_t>(cfg_.pipeline_stages), 1.0);
+  }
+  bool degraded = false;
+  for (int s = 0; s < cfg_.pipeline_stages; ++s) {
+    const double m = R.injector->multiplier(s, static_cast<int>(iter));
+    if (m != 1.0) {
+      caps[static_cast<std::size_t>(s)] *= m;
+      degraded = true;
+    }
+  }
+  if (!degraded && !R.capacities_degraded) return;  // healthy, and was
+  // Restore the *exact* base vector on full recovery (an all-ones vector
+  // is semantically identical but would differ from the fault-free run's
+  // config, and determinism comparisons check configs too).
+  R.rb_cfg.capacities = degraded ? std::move(caps) : R.base_capacities;
+  R.capacities_degraded = degraded;
+  R.rebalancer.emplace(make_rebalancer(R.active));
+}
+
+double TrainingSession::checkpoint_write_seconds(
+    const pipeline::StageMap& map, std::span<const double> state_bytes) const {
+  // Every worker writes its shard in parallel; the busiest gates — the
+  // same rule ElasticController::restart_stall prices, at the same
+  // bandwidth knob (meaningful with or without elastic.enabled).
+  const auto loads = map.stage_loads(state_bytes);
+  const double busiest =
+      loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
+  return busiest / cfg_.elastic.checkpoint_bw;
+}
+
 double TrainingSession::step() {
   DYNMO_CHECK(run_ != nullptr, "step() before start()");
   DYNMO_CHECK(!done(), "step() past the configured iterations");
@@ -719,6 +887,39 @@ double TrainingSession::step() {
     execute_forced_shrink(event_time, iter_restart_stall);
   }
 
+  // Injected faults fire at the window boundary, on the state the last
+  // checkpoint could have captured (docs/FAULT.md).
+  if (R.injector) {
+    std::vector<bool> alive(static_cast<std::size_t>(R.active), true);
+    const auto events = R.injector->poll(
+        static_cast<int>(iter + cfg_.sim_stride - 1), alive);
+    for (const auto& e : events) {
+      if (e.kind == fault::EventKind::WorkerLoss) {
+        execute_worker_loss(e.worker, event_time, iter_restart_stall);
+        if (R.failed) break;
+        alive.assign(static_cast<std::size_t>(R.active), true);
+      } else {
+        ++res.straggler_events;
+        if (R.trace) {
+          telemetry::FaultEventRow row;
+          row.iter = iter;
+          row.kind = fault::to_string(e.kind);
+          row.worker = e.worker;
+          row.multiplier = e.multiplier;
+          row.workers_before = R.active;
+          row.workers_after = R.active;
+          R.trace->write_fault_event(row);
+        }
+      }
+    }
+    if (R.failed) {
+      // The run ends mid-window: account what the window charged (the
+      // fatal event itself charges nothing) and stop stepping.
+      res.total_time_s += event_time;
+      return event_time;
+    }
+  }
+
   if (engine_ != nullptr) engine_->step(iter, states);
   if (cfg_.mode == BalancingMode::Tutel) apply_tutel_mitigation(states);
 
@@ -733,6 +934,19 @@ double TrainingSession::step() {
           : 1.0;
 
   const auto mem = builder_.layer_memory_bytes(states, map);
+
+  // Periodic checkpoint (docs/FAULT.md): cut one at every cadence point
+  // and charge the busiest shard's write.  Skipped when a restart already
+  // left a fresh checkpoint at this very iteration.
+  if (cfg_.checkpoint_interval_iters > 0 && iter > 0 &&
+      iter % cfg_.checkpoint_interval_iters == 0 && iter > R.last_ckpt_iter) {
+    const double write_s = checkpoint_write_seconds(map, mem);
+    event_time += write_s;
+    res.checkpoint_write_s += write_s;
+    ++res.checkpoints_written;
+    R.last_ckpt_iter = iter;
+    R.since_ckpt_s = 0.0;
+  }
 
   const bool rebalance_point = cfg_.mode == BalancingMode::DynMo &&
                                R.interval > 0 && iter % R.interval == 0;
@@ -753,6 +967,14 @@ double TrainingSession::step() {
   // measured.  For slow cadences (pruning / freezing / early exit) this
   // merely skips the single imbalanced profiling iteration, which is
   // negligible at those intervals.
+  // Stragglers enter the decision path here: the rebalance point sees the
+  // degraded capacities, so diffusion/partition route load away from the
+  // slow stage — and back when it recovers (the payoff gate keeps the
+  // return migration from thrashing).
+  if (rebalance_point && R.injector && R.injector->any_degradation()) {
+    refresh_capacities(iter);
+  }
+
   if (rebalance_point) {
     balance::LayerProfile profile;
     profile.time_s = layer_seconds;
@@ -996,7 +1218,22 @@ double TrainingSession::step() {
   }
 
   // --- execute one iteration on the (possibly rebalanced) map ----------
-  const auto costs = builder_.build(states, map, mb_scale);
+  auto costs = builder_.build(states, map, mb_scale);
+  // A straggling GPU really is slower: stretch its stage's compute by the
+  // injector's multiplier so the simulated timeline (and the bubbles the
+  // healthy stages suffer waiting on it) reflect the degradation the
+  // balancer is routing around.
+  if (R.injector && R.injector->any_degradation()) {
+    for (int s = 0; s < costs.num_stages(); ++s) {
+      const double m = R.injector->multiplier(s, static_cast<int>(iter));
+      if (m == 1.0) continue;
+      for (int mb = 0; mb < costs.num_microbatches(); ++mb) {
+        costs.fwd(s, mb) /= m;
+        costs.bwd_input(s, mb) /= m;
+        costs.bwd_weight(s, mb) /= m;
+      }
+    }
+  }
   const auto pipe = pipeline::simulate(cfg_.schedule, costs);
   const auto dp_cost = dp_allreduce_cost(map, states);
   iter_time += pipe.makespan_s + dp_cost.exposed_s;
@@ -1044,6 +1281,9 @@ double TrainingSession::step() {
   R.idleness_stats.add(pipe.avg_idleness());
   R.bubble_stats.add(pipe.bubble_ratio());
   R.workers_stats.add(static_cast<double>(R.active));
+  // Work a loss at the *next* boundary would have to re-do: the compute
+  // since the last checkpoint (event stalls are not re-done).
+  R.since_ckpt_s += iter_time * static_cast<double>(cfg_.sim_stride);
 
   IterationSample sample;
   sample.iter = iter;
@@ -1107,8 +1347,13 @@ SessionResult TrainingSession::finish() {
   if (R.trace) R.trace->finalize();
 
   SessionResult res = std::move(R.res);
-  const double iters = static_cast<double>(cfg_.iterations);
-  res.tokens_per_sec = tokens_per_iteration() * iters / res.total_time_s;
+  // A failed run ended early: throughput covers what actually completed.
+  const double iters = static_cast<double>(res.failed ? R.iter
+                                                      : cfg_.iterations);
+  res.tokens_per_sec =
+      res.total_time_s > 0.0
+          ? tokens_per_iteration() * iters / res.total_time_s
+          : 0.0;
   res.avg_idleness = R.idleness_stats.mean();
   res.avg_bubble_ratio = R.bubble_stats.mean();
   res.avg_active_workers = R.workers_stats.mean();

@@ -23,6 +23,7 @@
 
 #include "balance/rebalancer.hpp"
 #include "cluster/deployment.hpp"
+#include "fault/plan.hpp"
 #include "cluster/hier_balancer.hpp"
 #include "cluster/topology.hpp"
 #include "comm/cost_model.hpp"
@@ -158,6 +159,30 @@ struct SessionConfig {
 
   std::uint64_t seed = 0x5eed;
 
+  /// Fault & straggler injection (docs/FAULT.md).  A non-empty plan is
+  /// compiled by a fault::Injector on an Rng::fork()'d substream — the
+  /// event schedule is a pure function of (plan, seed, initial workers)
+  /// and never perturbs the session's measurement-noise stream.  Worker
+  /// losses are recovered as an involuntary checkpoint-coordinated shrink
+  /// onto the surviving prefix, priced as the restart stall *plus the
+  /// work lost since the last checkpoint* — so they require
+  /// `elastic.enabled` (the release PATCHes the control plane like any
+  /// shrink).  Stragglers degrade the affected stage's capacity at
+  /// rebalance points (the balancers route around them) and stretch its
+  /// simulated compute for as long as the window lasts; they work in any
+  /// mode.  A loss the survivors cannot absorb (below elastic.min_workers
+  /// or memory-infeasible) fails the run: done() turns true and
+  /// SessionResult::failed is set.
+  fault::FaultPlan fault{};
+  /// Periodic checkpoint cadence in iterations (0 → no periodic
+  /// checkpoints; a worker loss then rolls back to the last restart, or to
+  /// iteration 0).  Each checkpoint charges the busiest shard's write at
+  /// `elastic.checkpoint_bw` into the clock (docs/COST_MODEL.md
+  /// "Checkpoint-cadence pricing") — the knob bench_fault sweeps against
+  /// MTBF for the classic sqrt-of-MTBF optimum.  Must be a multiple of
+  /// sim_stride.
+  std::int64_t checkpoint_interval_iters = 0;
+
   /// Structured trace emission (docs/TELEMETRY.md): set `telemetry.dir` to
   /// stream every simulated iteration's per-stage loads, every rebalance
   /// decision, every migration, and every elastic transition to a queryable
@@ -228,6 +253,20 @@ struct SessionResult {
   /// request_shrink() — same checkpoint-coordinated path, counted apart
   /// from the voluntary `shrinks` the controller chose itself.
   int forced_shrinks = 0;
+  /// Fault-injection accounting (SessionConfig::fault, docs/FAULT.md).
+  /// Worker-loss recoveries charge into restart_stall_s like any other
+  /// restart, with the lost-work share additionally broken out in
+  /// lost_work_s; periodic checkpoint writes are *not* stall (they are the
+  /// steady-state premium the cadence pays) and accumulate separately.
+  int worker_losses = 0;
+  int straggler_events = 0;  ///< onset + recovery events fired
+  double lost_work_s = 0.0;  ///< re-done compute since the last checkpoint
+  double checkpoint_write_s = 0.0;  ///< periodic checkpoint-write cost
+  int checkpoints_written = 0;
+  /// An unrecoverable worker loss ended the run early (survivors below
+  /// elastic.min_workers or memory-infeasible); throughput metrics then
+  /// cover the iterations actually completed.
+  bool failed = false;
   double restart_stall_s = 0.0;       ///< total stall charged to the clock
   /// GPU-hours not spent versus never shrinking, over all DP replicas:
   /// Σ (initial_workers − active) · dp · dt.  Accumulated for elastic *and*
@@ -341,6 +380,19 @@ class TrainingSession {
   /// Execute a queued request_shrink() (no-op without one); stall and
   /// polish overhead are charged into the current step's accumulators.
   void execute_forced_shrink(double& event_time, double& iter_restart_stall);
+  /// Recover from an injected loss of `victim`: involuntary shrink onto
+  /// the surviving prefix, priced as restart stall + lost work since the
+  /// last checkpoint.  Marks the run failed when the survivors cannot
+  /// absorb the model.
+  void execute_worker_loss(int victim, double& event_time,
+                           double& iter_restart_stall);
+  /// Refresh rb_cfg.capacities from the injector's straggler multipliers
+  /// at `iter` (rebuilding the rebalancer only when the effective
+  /// capacities changed).
+  void refresh_capacities(std::int64_t iter);
+  /// Busiest-shard periodic checkpoint write at elastic.checkpoint_bw.
+  double checkpoint_write_seconds(const pipeline::StageMap& map,
+                                  std::span<const double> state_bytes) const;
 
   const model::ModelDesc* model_;
   SessionConfig cfg_;

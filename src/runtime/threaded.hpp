@@ -11,7 +11,10 @@
 // Determinism contract (tested): with weight updates disabled, the final
 // output checksum is identical for *any* stage map and any migration
 // history — load balancing must never change the math (paper §1: "DynMo
-// has no impact on model accuracy").
+// has no impact on model accuracy").  Fault recovery preserves the
+// contract: a run that loses workers rolls back to the newest checkpoint,
+// re-executes the lost iterations on the surviving prefix, and lands on
+// the same output/weight checksums as a fault-free run of the same seed.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "fault/plan.hpp"
 #include "pipeline/stage_map.hpp"
 #include "telemetry/trace_writer.hpp"
 #include "tensor/tensor.hpp"
@@ -41,6 +45,25 @@ struct ThreadedConfig {
   /// release phase lands in elastic_transitions with its measured stall.
   /// The writer is shared across worker threads (it locks internally).
   telemetry::TelemetryConfig telemetry{};
+  /// Fault injection (docs/FAULT.md): a seeded plan of worker losses and
+  /// stragglers executed against the live pipeline.  A lost worker goes
+  /// silent mid-iteration; the run's missed-heartbeat monitor detects the
+  /// silence and every rank rendezvouses on a checkpoint-coordinated
+  /// restart over the surviving workers.  Requires workers >= 2,
+  /// num_layers >= workers, and a plan with no `active`/`restart_active`
+  /// phases and no empty stages (every worker must be heartbeat-visible).
+  /// Stragglers stretch the victim's measured compute time only — they
+  /// never change the math.
+  fault::FaultPlan fault{};
+  /// Cut an in-memory recovery checkpoint every N iterations (0 = only at
+  /// phase starts).  Worker-loss recovery rolls back to the newest cut and
+  /// re-executes everything since — the lost-work term of the
+  /// checkpoint-cadence trade-off priced by runtime/session.hpp.
+  std::int64_t checkpoint_interval_iters = 0;
+  /// Missed-heartbeat threshold: a monitored rank silent this long is
+  /// declared dead.  Healthy-but-blocked ranks keep ticking from inside
+  /// the receive poll loop, so only a genuinely silent worker trips it.
+  double heartbeat_timeout_s = 0.25;
 };
 
 /// One phase of the scripted run: train `iterations` on `map`, after an
@@ -62,6 +85,10 @@ struct PlanPhase {
   /// active set, the "new NCCL communicator ... during the restart" of
   /// §3.4.2.  Rank 0 must stay active.  Mutually exclusive with `active`.
   std::optional<std::vector<bool>> restart_active;
+  /// Heartbeat cadence while this phase's pipeline runs: every worker
+  /// bumps its heartbeat at every Nth iteration boundary (and on every
+  /// receive poll while blocked).  Must be >= 1.
+  int heartbeat_every = 1;
 };
 
 struct ThreadedReport {
@@ -72,9 +99,11 @@ struct ThreadedReport {
   std::vector<double> worker_busy_s;          ///< per initial worker
   std::uint64_t bytes_migrated = 0;
   std::size_t weights_nnz = 0;                ///< after any pruning
-  int restarts = 0;                           ///< elastic restart phases run
+  int restarts = 0;                           ///< restart phases + recoveries
   /// Serialized checkpoint bytes broadcast across all restarts.
   std::uint64_t bytes_checkpoint = 0;
+  int worker_losses = 0;       ///< heartbeat-detected losses recovered from
+  std::vector<int> dead_workers;  ///< ranks declared dead, detection order
 };
 
 class ThreadedPipeline {

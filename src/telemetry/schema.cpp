@@ -165,6 +165,36 @@ constexpr std::array kFleetDecisionColumns = {
                "preempted job (preempt rows; empty otherwise)"},
 };
 
+constexpr std::array kFaultEventColumns = {
+    ColumnSpec{"iter", ColumnType::Int64, "iteration",
+               "iteration the event fired at"},
+    ColumnSpec{"kind", ColumnType::String, "1",
+               "worker_loss | straggler_onset | straggler_recovery"},
+    ColumnSpec{"worker", ColumnType::Int64, "rank", "victim worker rank"},
+    ColumnSpec{"multiplier", ColumnType::Float64, "1",
+               "straggler compute-speed multiplier (1.0 = healthy; loss "
+               "rows carry 1.0)"},
+    ColumnSpec{"workers_before", ColumnType::Int64, "workers",
+               "active workers before the event"},
+    ColumnSpec{"workers_after", ColumnType::Int64, "workers",
+               "active workers after (unchanged for straggler rows)"},
+    ColumnSpec{"stall_s", ColumnType::Float64, "s",
+               "total recovery charge: restart breakdown plus lost work "
+               "(0 for straggler rows)"},
+    ColumnSpec{"alpha_s", ColumnType::Float64, "s",
+               "restart breakdown: job-manager round-trip + respawn"},
+    ColumnSpec{"bootstrap_s", ColumnType::Float64, "s",
+               "restart breakdown: binomial communicator bootstrap"},
+    ColumnSpec{"ckpt_write_s", ColumnType::Float64, "s",
+               "restart breakdown: busiest-shard checkpoint write"},
+    ColumnSpec{"ckpt_read_s", ColumnType::Float64, "s",
+               "restart breakdown: busiest-shard checkpoint reload"},
+    ColumnSpec{"lost_work_s", ColumnType::Float64, "s",
+               "compute re-done because it post-dated the last checkpoint"},
+    ColumnSpec{"lost_iters", ColumnType::Int64, "iterations",
+               "iterations rolled back to the last checkpoint"},
+};
+
 constexpr std::array kTables = {
     TableSpec{"iterations", "iterations.jsonl",
               "one row per simulated iteration", kIterationColumns},
@@ -184,6 +214,10 @@ constexpr std::array kTables = {
               "every fleet arbiter admit/grant/deny/release/preempt "
               "verdict with its fleet-payoff pricing",
               kFleetDecisionColumns},
+    TableSpec{"fault_events", "fault_events.jsonl",
+              "every injected fault (worker loss, straggler onset/"
+              "recovery) with the recovery stall ledger",
+              kFaultEventColumns},
 };
 
 }  // namespace

@@ -8,7 +8,7 @@
 // schema version under "_v"; readers reject rows from a different version
 // instead of silently misinterpreting them.
 //
-// The six tables (docs/TELEMETRY.md has the full column reference):
+// The seven tables (docs/TELEMETRY.md has the full column reference):
 //   iterations           one row per simulated iteration
 //   stage_loads          one row per (iteration, stage), with the
 //                        per-layer load/memory arrays replay feeds back
@@ -19,6 +19,9 @@
 //   fleet_decisions      every fleet::Arbiter admit/grant/deny/release/
 //                        preempt verdict with its fleet-payoff pricing
 //                        (empty in single-session traces)
+//   fault_events         every injected fault (worker loss, straggler
+//                        onset/recovery) with the recovery stall ledger
+//                        (docs/FAULT.md; empty in fault-free traces)
 #pragma once
 
 #include <cstdint>
@@ -140,6 +143,33 @@ struct ElasticTransitionRow {
   double migrated_bytes = 0.0;  ///< repack transfers; restarts move none
 
   bool operator==(const ElasticTransitionRow&) const = default;
+};
+
+/// One injected fault event (docs/FAULT.md): what the fault::Injector
+/// fired and — for worker losses — what the checkpoint-coordinated
+/// recovery cost.  stall_s is the *total* charge (restart breakdown plus
+/// the work lost since the last checkpoint), so summing stall_s across
+/// accepted elastic_transitions and fault_events reconstructs
+/// SessionResult::restart_stall_s exactly (the ledger-consistency test
+/// holds the session to this).
+struct FaultEventRow {
+  std::int64_t iter = 0;
+  std::string kind;  ///< worker_loss | straggler_onset | straggler_recovery
+  std::int64_t worker = 0;    ///< victim rank
+  double multiplier = 1.0;    ///< straggler speed multiplier (1.0 = healthy)
+  std::int64_t workers_before = 0;
+  std::int64_t workers_after = 0;
+  /// Total stall charged: alpha + bootstrap + ckpt write/read + lost work.
+  double stall_s = 0.0;
+  double alpha_s = 0.0;
+  double bootstrap_s = 0.0;
+  double ckpt_write_s = 0.0;
+  double ckpt_read_s = 0.0;
+  /// Compute re-done because it post-dated the last checkpoint.
+  double lost_work_s = 0.0;
+  std::int64_t lost_iters = 0;  ///< iterations rolled back to the checkpoint
+
+  bool operator==(const FaultEventRow&) const = default;
 };
 
 /// One fleet::Arbiter verdict (docs/FLEET.md): who asked for GPUs, what

@@ -253,6 +253,30 @@ std::vector<FleetDecisionRow> TraceReader::fleet_decisions() const {
   return rows;
 }
 
+std::vector<FaultEventRow> TraceReader::fault_events() const {
+  std::vector<FaultEventRow> rows;
+  for_each_row(
+      read_file(table_spec("fault_events").file), "fault_events",
+      [&](const JsonValue& v) {
+        FaultEventRow r;
+        r.iter = member(v, "iter").as_int();
+        r.kind = member(v, "kind").as_string();
+        r.worker = member(v, "worker").as_int();
+        r.multiplier = member(v, "multiplier").as_double();
+        r.workers_before = member(v, "workers_before").as_int();
+        r.workers_after = member(v, "workers_after").as_int();
+        r.stall_s = member(v, "stall_s").as_double();
+        r.alpha_s = member(v, "alpha_s").as_double();
+        r.bootstrap_s = member(v, "bootstrap_s").as_double();
+        r.ckpt_write_s = member(v, "ckpt_write_s").as_double();
+        r.ckpt_read_s = member(v, "ckpt_read_s").as_double();
+        r.lost_work_s = member(v, "lost_work_s").as_double();
+        r.lost_iters = member(v, "lost_iters").as_int();
+        rows.push_back(std::move(r));
+      });
+  return rows;
+}
+
 balance::ReplayedLoads TraceReader::replayed_loads() const {
   const auto rows = stage_loads();
   DYNMO_CHECK(!rows.empty(), "trace has no stage_loads rows");

@@ -54,6 +54,7 @@ class TraceReader {
   std::vector<MigrationRow> migrations() const;
   std::vector<ElasticTransitionRow> elastic_transitions() const;
   std::vector<FleetDecisionRow> fleet_decisions() const;
+  std::vector<FaultEventRow> fault_events() const;
 
   /// Reassemble the per-layer load history from stage_loads (frames in
   /// iteration order, per-layer arrays concatenated across stages).

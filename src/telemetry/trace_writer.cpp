@@ -214,6 +214,24 @@ void TraceWriter::write_fleet_decision(const FleetDecisionRow& r) {
   append_row(table("fleet_decisions"), std::move(b).finish());
 }
 
+void TraceWriter::write_fault_event(const FaultEventRow& r) {
+  RowBuilder b;
+  b.field("iter", r.iter)
+      .field("kind", r.kind)
+      .field("worker", r.worker)
+      .field("multiplier", r.multiplier)
+      .field("workers_before", r.workers_before)
+      .field("workers_after", r.workers_after)
+      .field("stall_s", r.stall_s)
+      .field("alpha_s", r.alpha_s)
+      .field("bootstrap_s", r.bootstrap_s)
+      .field("ckpt_write_s", r.ckpt_write_s)
+      .field("ckpt_read_s", r.ckpt_read_s)
+      .field("lost_work_s", r.lost_work_s)
+      .field("lost_iters", r.lost_iters);
+  append_row(table("fault_events"), std::move(b).finish());
+}
+
 void TraceWriter::write_catalog() {
   std::string out = "{\n";
   out += "  \"format\": \"";

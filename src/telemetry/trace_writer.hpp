@@ -37,6 +37,7 @@ class TraceWriter {
   void write_migration(const MigrationRow& row);
   void write_elastic_transition(const ElasticTransitionRow& row);
   void write_fleet_decision(const FleetDecisionRow& row);
+  void write_fault_event(const FaultEventRow& row);
 
   /// Flush all tables and write catalog.json.  Idempotent; rows written
   /// after finalize() reopen the pending state and require another call.
@@ -60,7 +61,7 @@ class TraceWriter {
   RunInfo run_;
   mutable std::mutex mu_;
   // Indexed in table_specs() order.
-  Table tables_[6];
+  Table tables_[7];
   bool finalized_ = false;
 };
 

@@ -16,6 +16,15 @@ Usage:
 Fleet traces (producer "fleet", docs/FLEET.md) add the fleet_decisions
 table — every arbiter verdict with its payoff pricing:
   query_trace.py TRACE_DIR fleet_decisions -w 'kind=preempt'
+
+Fault-enabled runs (docs/FAULT.md) add the fault_events table — losses
+with their stall breakdown, straggler onsets/recoveries:
+  query_trace.py TRACE_DIR fault_events -w 'kind=worker_loss'
+--validate additionally checks each worker_loss row's stall identity
+(stall_s = alpha_s + bootstrap_s + ckpt_write_s + ckpt_read_s +
+lost_work_s).  Tables declaring column types this tool does not know are
+skipped with a note instead of failing, so traces from newer producers
+stay queryable (forward compatibility).
 """
 
 import argparse
@@ -83,6 +92,24 @@ def iter_rows(trace_dir, table):
                 fail(f"{table['name']}:{lineno}: unparseable row: {e}")
 
 
+def _check_fault_event(row):
+    """Semantic check for one fault_events row; returns a problem or None."""
+    if row.get("kind") == "worker_loss":
+        parts = (row.get("alpha_s", 0) + row.get("bootstrap_s", 0) +
+                 row.get("ckpt_write_s", 0) + row.get("ckpt_read_s", 0) +
+                 row.get("lost_work_s", 0))
+        if abs(row.get("stall_s", 0) - parts) > 1e-9 * max(1.0, parts):
+            return (f"stall_s {row.get('stall_s')} != breakdown sum "
+                    f"{parts} (docs/FAULT.md ledger rule)")
+    elif row.get("kind") in ("straggler_onset", "straggler_recovery"):
+        if row.get("workers_before") != row.get("workers_after"):
+            return "straggler event changed the worker count"
+    return None
+
+
+_SEMANTIC_CHECKS = {"fault_events": _check_fault_event}
+
+
 def validate(trace_dir, catalog):
     """Cross-check every declared table against its file; exit 1 on drift."""
     problems = []
@@ -101,6 +128,16 @@ def validate(trace_dir, catalog):
             problems.append(f"{name}: catalog declares no columns")
             continue
         expected = {c["name"]: c["type"] for c in columns}
+        # Forward compatibility: a newer producer may declare column types
+        # this tool does not know.  That is the producer speaking a newer
+        # dialect, not trace corruption — note it and skip the table.
+        unknown = sorted({t for t in expected.values()
+                          if t not in _TYPE_CHECKS})
+        if unknown:
+            print(f"SKIP {name}: unknown column types {unknown} "
+                  "(newer producer?)")
+            continue
+        semantic = _SEMANTIC_CHECKS.get(name)
         count = 0
         for lineno, row in iter_rows(trace_dir, table):
             count += 1
@@ -116,12 +153,13 @@ def validate(trace_dir, catalog):
                                 f"(missing {missing}, extra {extra})")
                 continue
             for col, typ in expected.items():
-                check = _TYPE_CHECKS.get(typ)
-                if check is None:
-                    problems.append(f"{name}: unknown column type {typ!r}")
-                elif not check(row[col]):
+                if not _TYPE_CHECKS[typ](row[col]):
                     problems.append(f"{name}:{lineno}: column {col} is not "
                                     f"a {typ}: {row[col]!r}")
+            if semantic is not None:
+                issue = semantic(row)
+                if issue:
+                    problems.append(f"{name}:{lineno}: {issue}")
         if count != table.get("rows"):
             problems.append(f"{name}: catalog declares {table.get('rows')} "
                             f"rows, file has {count}")
