@@ -144,16 +144,31 @@ class JsonRecorder {
     cases_.push_back({title, rows, baseline_tokens_per_sec});
   }
 
+  /// Counter-only row for benches whose deterministic content is traffic
+  /// volume rather than throughput (bench_micro_comm): just a series label
+  /// plus counter-derived fields, emitted verbatim.  Wall-clock stays in
+  /// the printed table and out of the committed JSON (docs/BENCHMARKS.md).
+  struct VolumeRow {
+    std::string label;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+
+  void add_volume_case(const std::string& title,
+                       const std::vector<VolumeRow>& rows) {
+    volume_cases_.push_back({title, rows});
+  }
+
   void write(const char* path) const {
     FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot open %s for writing\n", path);
       std::exit(2);
     }
+    const std::size_t total = cases_.size() + volume_cases_.size();
+    std::size_t written = 0;
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"cases\": [\n",
                  bench_.c_str());
-    for (std::size_t c = 0; c < cases_.size(); ++c) {
-      const Case& cs = cases_[c];
+    for (const Case& cs : cases_) {
       std::fprintf(f, "    {\"case\": \"%s\", \"rows\": [\n",
                    cs.title.c_str());
       for (std::size_t r = 0; r < cs.rows.size(); ++r) {
@@ -170,7 +185,20 @@ class JsonRecorder {
         }
         std::fprintf(f, "}%s\n", r + 1 < cs.rows.size() ? "," : "");
       }
-      std::fprintf(f, "    ]}%s\n", c + 1 < cases_.size() ? "," : "");
+      std::fprintf(f, "    ]}%s\n", ++written < total ? "," : "");
+    }
+    for (const VolumeCase& cs : volume_cases_) {
+      std::fprintf(f, "    {\"case\": \"%s\", \"rows\": [\n",
+                   cs.title.c_str());
+      for (std::size_t r = 0; r < cs.rows.size(); ++r) {
+        std::fprintf(f, "      {\"series\": \"%s\"",
+                     cs.rows[r].label.c_str());
+        for (const auto& [key, value] : cs.rows[r].fields) {
+          std::fprintf(f, ", \"%s\": %.4g", key.c_str(), value);
+        }
+        std::fprintf(f, "}%s\n", r + 1 < cs.rows.size() ? "," : "");
+      }
+      std::fprintf(f, "    ]}%s\n", ++written < total ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -183,8 +211,13 @@ class JsonRecorder {
     std::vector<Row> rows;
     double baseline;
   };
+  struct VolumeCase {
+    std::string title;
+    std::vector<VolumeRow> rows;
+  };
   std::string bench_;
   std::vector<Case> cases_;
+  std::vector<VolumeCase> volume_cases_;
 };
 
 /// Run one (mode, algorithm, by) configuration of a use case.

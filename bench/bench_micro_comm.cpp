@@ -1,78 +1,180 @@
-// Micro-benchmarks (google-benchmark) for the in-process communication
-// substrate: P2P round-trips, collectives, and communicator split — the
-// primitives under layer migration and distributed pruning.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks for the communication substrate, parameterized over
+// transport backends (docs/TRANSPORT.md): P2P round-trips, collectives,
+// and communicator split — the primitives under layer migration and
+// distributed pruning — timed on inproc (lock-free mailbox handoff) and
+// socket (length-prefixed frames over Unix-domain socketpairs).
+//
+// Two outputs with different determinism rules:
+//   * the printed table carries the measured ns/op and MB/s — wall-clock,
+//     machine-dependent, never committed;
+//   * --json records only the transport counters (payload bytes and
+//     messages per op), which are a pure function of the op — and must be
+//     IDENTICAL across backends, since both count payload bytes at the
+//     same Transport::send choke point.  The committed
+//     BENCH_micro_comm.json is therefore a parity artifact: a diff between
+//     the inproc and socket rows means a backend grew private traffic.
+//
+//   bench_micro_comm [--transport inproc|socket|both] [--json PATH]
+#include <chrono>
+#include <cstdio>
 #include <thread>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "comm/communicator.hpp"
 
 namespace {
 
-using namespace dynmo::comm;
+using namespace dynmo;
+using comm::TransportKind;
 
-void BM_PingPong(benchmark::State& state) {
-  const auto bytes = static_cast<std::size_t>(state.range(0));
-  World world(2);
+struct OpStats {
+  double ns_per_op = 0.0;
+  double payload_mb_s = 0.0;    ///< measured, printed only
+  double bytes_per_op = 0.0;    ///< deterministic, recorded
+  double msgs_per_op = 0.0;     ///< deterministic, recorded
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Rank 0 sends `bytes`, rank 1 echoes it back; one op = one round trip.
+OpStats ping_pong(TransportKind kind, std::size_t bytes, int iters) {
+  comm::World world(2, kind);
   std::vector<std::byte> payload(bytes);
-  std::atomic<bool> stop{false};
-  std::thread echo([&world, &stop] {
-    Communicator c = world.world_comm(1);
-    for (;;) {
-      auto m = c.try_recv(0, 1);
-      if (m) {
-        c.send(0, 2, std::move(m->payload));
-      } else if (stop.load()) {
-        return;
-      }
+  std::thread echo([&world, iters] {
+    comm::Communicator c = world.world_comm(1);
+    for (int i = 0; i < iters; ++i) {
+      auto m = c.recv(0, 1);
+      c.send(0, 2, std::move(m.payload));
     }
   });
-  Communicator c = world.world_comm(0);
-  for (auto _ : state) {
+  comm::Communicator c = world.world_comm(0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
     c.send(1, 1, payload);
-    benchmark::DoNotOptimize(c.recv(1, 2));
+    (void)c.recv(1, 2);
   }
-  stop.store(true);
+  const double s = seconds_since(t0);
   echo.join();
-  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
-                          state.iterations() * 2);
+  OpStats st;
+  st.ns_per_op = 1e9 * s / iters;
+  st.bytes_per_op =
+      static_cast<double>(world.bytes_sent()) / iters;
+  st.msgs_per_op =
+      static_cast<double>(world.messages_sent()) / iters;
+  st.payload_mb_s = 2.0 * static_cast<double>(bytes) * iters / s / 1e6;
+  return st;
 }
-BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(1 << 20);
 
-void BM_Allreduce(benchmark::State& state) {
-  const int ranks = static_cast<int>(state.range(0));
-  const std::size_t doubles = 256;
-  for (auto _ : state) {
-    World world(ranks);
-    std::vector<std::thread> ts;
-    for (int r = 0; r < ranks; ++r) {
-      ts.emplace_back([&world, r] {
-        Communicator c = world.world_comm(r);
-        std::vector<double> mine(doubles, static_cast<double>(r));
-        benchmark::DoNotOptimize(c.allreduce_sum(std::move(mine)));
-      });
-    }
-    for (auto& t : ts) t.join();
+/// One op = a full `ranks`-way allreduce_sum of 256 doubles.
+OpStats allreduce(TransportKind kind, int ranks, int iters) {
+  comm::World world(ranks, kind);
+  constexpr std::size_t kDoubles = 256;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    ts.emplace_back([&world, r, iters] {
+      comm::Communicator c = world.world_comm(r);
+      for (int i = 0; i < iters; ++i) {
+        std::vector<double> mine(kDoubles, static_cast<double>(r));
+        (void)c.allreduce_sum(std::move(mine));
+      }
+    });
   }
+  for (auto& t : ts) t.join();
+  const double s = seconds_since(t0);
+  OpStats st;
+  st.ns_per_op = 1e9 * s / iters;
+  st.bytes_per_op = static_cast<double>(world.bytes_sent()) / iters;
+  st.msgs_per_op = static_cast<double>(world.messages_sent()) / iters;
+  st.payload_mb_s = st.bytes_per_op * iters / s / 1e6;
+  return st;
 }
-BENCHMARK(BM_Allreduce)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_CommSplit(benchmark::State& state) {
-  const int ranks = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    World world(ranks);
+/// One op = every rank splitting into halves (the repack/restart path).
+OpStats comm_split(TransportKind kind, int ranks, int iters) {
+  OpStats st;
+  double total_s = 0.0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_msgs = 0;
+  for (int i = 0; i < iters; ++i) {
+    comm::World world(ranks, kind);
+    const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> ts;
+    ts.reserve(static_cast<std::size_t>(ranks));
     for (int r = 0; r < ranks; ++r) {
       ts.emplace_back([&world, r, ranks] {
-        Communicator c = world.world_comm(r);
-        benchmark::DoNotOptimize(c.split(r < ranks / 2 ? 0 : -1, r));
+        comm::Communicator c = world.world_comm(r);
+        (void)c.split(r < ranks / 2 ? 0 : -1, r);
       });
     }
     for (auto& t : ts) t.join();
+    total_s += seconds_since(t0);
+    total_bytes += world.bytes_sent();
+    total_msgs += world.messages_sent();
   }
+  st.ns_per_op = 1e9 * total_s / iters;
+  st.bytes_per_op = static_cast<double>(total_bytes) / iters;
+  st.msgs_per_op = static_cast<double>(total_msgs) / iters;
+  st.payload_mb_s = st.bytes_per_op * iters / total_s / 1e6;
+  return st;
 }
-BENCHMARK(BM_CommSplit)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<TransportKind> kinds = {TransportKind::InProc,
+                                      TransportKind::Socket};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v != "both") kinds = {comm::parse_transport(v)};
+    }
+  }
+
+  struct Case {
+    std::string name;
+    OpStats (*run)(TransportKind);
+  };
+  // Fixed op shapes: iteration counts are part of the recorded
+  // bytes/msgs-per-op denominators, so changing one regenerates the JSON.
+  static const Case kCases[] = {
+      {"pingpong 64B",
+       [](TransportKind k) { return ping_pong(k, 64, 2000); }},
+      {"pingpong 4KiB",
+       [](TransportKind k) { return ping_pong(k, 4096, 2000); }},
+      {"pingpong 1MiB",
+       [](TransportKind k) { return ping_pong(k, 1 << 20, 100); }},
+      {"allreduce 256d x4",
+       [](TransportKind k) { return allreduce(k, 4, 200); }},
+      {"allreduce 256d x8",
+       [](TransportKind k) { return allreduce(k, 8, 100); }},
+      {"split x8", [](TransportKind k) { return comm_split(k, 8, 50); }},
+  };
+
+  bench::JsonRecorder rec("micro_comm");
+  std::printf("%-20s %-8s %12s %12s %12s %10s\n", "op", "transport",
+              "ns/op", "MB/s", "bytes/op", "msgs/op");
+  for (const Case& cs : kCases) {
+    std::vector<bench::JsonRecorder::VolumeRow> rows;
+    for (const TransportKind k : kinds) {
+      const OpStats st = cs.run(k);
+      std::printf("%-20s %-8s %12.0f %12.1f %12.0f %10.1f\n",
+                  cs.name.c_str(), comm::to_string(k), st.ns_per_op,
+                  st.payload_mb_s, st.bytes_per_op, st.msgs_per_op);
+      rows.push_back({comm::to_string(k),
+                      {{"bytes_per_op", st.bytes_per_op},
+                       {"msgs_per_op", st.msgs_per_op}}});
+    }
+    rec.add_volume_case(cs.name, rows);
+  }
+
+  if (const char* path = bench::json_path_arg(argc, argv)) {
+    rec.write(path);
+  }
+  return 0;
+}

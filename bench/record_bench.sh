@@ -9,6 +9,7 @@
 #   bench/BENCH_fleet.json             (fleet arbiter vs static equal-split)
 #   bench/BENCH_trace_overhead.json    (telemetry observer-effect gate)
 #   bench/BENCH_fault.json             (MTBF x checkpoint-cadence sweep)
+#   bench/BENCH_micro_comm.json        (per-op comm volume, both transports)
 #   bench/BENCH_fig3_<use_case>.json   (the six Figure-3 panels)
 # with the current aggregates.  All bench arithmetic is deterministic
 # (fixed seeds, analytic cost models) and throughputs are rounded past the
@@ -31,6 +32,7 @@ BENCHES=(
   fleet
   trace_overhead
   fault
+  micro_comm
   fig3_early_exit
   fig3_freezing
   fig3_mod

@@ -9,22 +9,10 @@ namespace dynmo::comm {
 
 // ---------------------------------------------------------------- World --
 
-World::World(int num_ranks) {
-  DYNMO_CHECK(num_ranks > 0, "world needs at least one rank");
-  mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
-  for (int i = 0; i < num_ranks; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
-  }
-}
+World::World(int num_ranks, TransportKind transport)
+    : kind_(transport), transport_(make_transport(transport, num_ranks)) {}
 
 World::~World() { shutdown(); }
-
-Mailbox& World::mailbox(int global_rank) {
-  DYNMO_CHECK(global_rank >= 0 && global_rank < size(),
-              "global rank " << global_rank << " out of range [0," << size()
-                             << ")");
-  return *mailboxes_[static_cast<std::size_t>(global_rank)];
-}
 
 Communicator World::world_comm(int global_rank) {
   auto group = std::make_shared<std::vector<int>>();
@@ -33,24 +21,9 @@ Communicator World::world_comm(int global_rank) {
   return Communicator(this, std::move(group), global_rank, /*context=*/0);
 }
 
-void World::shutdown() {
-  for (auto& mb : mailboxes_) mb->close();
-}
+void World::shutdown() { transport_->shutdown(); }
 
 int World::next_context() { return next_context_.fetch_add(1); }
-
-void World::count_send(std::size_t bytes) {
-  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
-  messages_sent_.fetch_add(1, std::memory_order_relaxed);
-}
-
-std::uint64_t World::bytes_sent() const {
-  return bytes_sent_.load(std::memory_order_relaxed);
-}
-
-std::uint64_t World::messages_sent() const {
-  return messages_sent_.load(std::memory_order_relaxed);
-}
 
 // --------------------------------------------------------- Communicator --
 
@@ -66,12 +39,11 @@ void Communicator::send(int dst, Tag tag, std::vector<std::byte> payload) const 
   msg.context = context_;
   msg.tag = tag;
   msg.payload = std::move(payload);
-  world_->count_send(msg.payload.size());
-  world_->mailbox(global_rank_of(dst)).deliver(std::move(msg));
+  transport().send(global_rank_of(dst), std::move(msg));
 }
 
 Message Communicator::recv(int src, Tag tag) const {
-  auto m = world_->mailbox(global_rank()).recv(context_, src, tag);
+  auto m = transport().recv(global_rank(), context_, src, tag);
   if (!m) {
     throw CommError("recv on rank " + std::to_string(rank_) +
                     " aborted: world shut down");
@@ -80,12 +52,23 @@ Message Communicator::recv(int src, Tag tag) const {
 }
 
 std::optional<Message> Communicator::try_recv(int src, Tag tag) const {
-  return world_->mailbox(global_rank()).try_recv(context_, src, tag);
+  // Read closure *before* probing: deliveries stop at close, so "closed,
+  // then found nothing" proves nothing matching can ever arrive — whereas
+  // probe-then-check would race a concurrent close() into a false abort.
+  const bool was_closed = transport().closed(global_rank());
+  if (auto m = transport().try_recv(global_rank(), context_, src, tag)) {
+    return m;
+  }
+  if (was_closed) {
+    throw CommError("try_recv on rank " + std::to_string(rank_) +
+                    " aborted: world shut down");
+  }
+  return std::nullopt;
 }
 
 void Communicator::barrier() const {
   // Dissemination barrier: log2(n) rounds.  Round safety relies on per
-  // (source, tag) FIFO delivery, which Mailbox guarantees.
+  // (source, tag) FIFO delivery, which every Transport guarantees.
   const int n = size();
   for (int k = 1; k < n; k <<= 1) {
     const int dst = (rank_ + k) % n;

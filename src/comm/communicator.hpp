@@ -1,15 +1,20 @@
-// In-process communicator: the NCCL/MPI substitute.
+// Transport-agnostic communicator: the NCCL/MPI substitute.
 //
-// A World owns one Mailbox per global rank.  A Communicator is a view over a
-// subset of global ranks (a *group*) with its own context id, exactly like an
-// MPI communicator: messages sent on one communicator can never be received
-// on another.  split() implements MPI_Comm_split / ncclCommSplit semantics —
-// this is what DynMo's re-packing uses to fence released GPUs off from the
-// active training communicator (paper §3.4.2).
+// A World owns one comm::Transport — the pluggable message substrate with
+// one endpoint per global rank (see transport.hpp for the backends).  A
+// Communicator is a view over a subset of global ranks (a *group*) with its
+// own context id, exactly like an MPI communicator: messages sent on one
+// communicator can never be received on another.  split() implements
+// MPI_Comm_split / ncclCommSplit semantics — this is what DynMo's re-packing
+// uses to fence released GPUs off from the active training communicator
+// (paper §3.4.2).
 //
 // Collectives are implemented over P2P with standard algorithms (binomial
 // broadcast, dissemination barrier, ring allreduce) so that their message
 // pattern — and hence their modeled cost — matches what NCCL would do.
+// Nothing here touches a backend directly: every byte flows through the
+// Transport interface, which is what the cross-backend conformance suite
+// and the golden-trace CI gate rely on.
 #pragma once
 
 #include <functional>
@@ -18,8 +23,8 @@
 #include <span>
 #include <vector>
 
-#include "comm/mailbox.hpp"
 #include "comm/message.hpp"
+#include "comm/transport.hpp"
 
 namespace dynmo::comm {
 
@@ -29,36 +34,38 @@ class Communicator;
 /// thread per rank and hand each thread its Communicator from world_comm().
 class World {
  public:
-  explicit World(int num_ranks);
+  explicit World(int num_ranks,
+                 TransportKind transport = TransportKind::InProc);
   ~World();
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
-  int size() const { return static_cast<int>(mailboxes_.size()); }
+  int size() const { return transport_->size(); }
+
+  /// Which backend this world runs on (recorded in telemetry catalogs).
+  TransportKind transport_kind() const { return kind_; }
+  std::string_view transport_name() const { return transport_->name(); }
 
   /// The communicator spanning all ranks (MPI_COMM_WORLD analogue); one
   /// handle per rank.
   Communicator world_comm(int global_rank);
 
-  /// Close every mailbox, releasing any blocked receiver.
+  /// Close every endpoint, releasing any blocked receiver.
   void shutdown();
 
-  /// Total bytes ever sent through this world (for overhead accounting).
-  std::uint64_t bytes_sent() const;
+  /// Total payload bytes ever sent through this world (overhead accounting).
+  std::uint64_t bytes_sent() const { return transport_->bytes_sent(); }
   /// Total messages ever sent.
-  std::uint64_t messages_sent() const;
+  std::uint64_t messages_sent() const { return transport_->messages_sent(); }
 
  private:
   friend class Communicator;
-  Mailbox& mailbox(int global_rank);
   int next_context();
-  void count_send(std::size_t bytes);
 
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  TransportKind kind_;
+  std::unique_ptr<Transport> transport_;
   std::atomic<int> next_context_{1};
-  std::atomic<std::uint64_t> bytes_sent_{0};
-  std::atomic<std::uint64_t> messages_sent_{0};
 };
 
 /// A rank's handle onto a group.  Cheap to copy (shared group).
@@ -92,6 +99,9 @@ class Communicator {
 
   /// Blocking receive; throws CommError if the world shut down.
   Message recv(int src = kAnySource, Tag tag = kAnyTag) const;
+  /// Non-blocking receive.  nullopt means "nothing matching yet"; once this
+  /// rank's endpoint is closed and drained it throws CommError instead, so
+  /// poll loops terminate on shutdown exactly like blocked recv() calls do.
   std::optional<Message> try_recv(int src = kAnySource,
                                   Tag tag = kAnyTag) const;
   template <typename T>
@@ -146,6 +156,8 @@ class Communicator {
                int rank, int context)
       : world_(world), group_(std::move(group)), rank_(rank),
         context_(context) {}
+
+  Transport& transport() const { return *world_->transport_; }
 
   World* world_;
   std::shared_ptr<const std::vector<int>> group_;  // member global ranks

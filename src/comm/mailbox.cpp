@@ -5,6 +5,11 @@ namespace dynmo::comm {
 void Mailbox::deliver(Message msg) {
   {
     std::scoped_lock lock(mu_);
+    // A closed mailbox drops deliveries instead of enqueueing them — the
+    // socket backend physically cannot deliver past close (the descriptor
+    // is shut down), so the in-proc backend must not either, or the two
+    // would diverge on sends that race shutdown.
+    if (closed_) return;
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();

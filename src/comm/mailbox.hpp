@@ -12,9 +12,6 @@
 
 namespace dynmo::comm {
 
-inline constexpr int kAnySource = -1;
-inline constexpr Tag kAnyTag = INT32_MIN;
-
 class Mailbox {
  public:
   /// Deliver a message (called by the sender's thread).

@@ -18,6 +18,10 @@ namespace dynmo::comm {
 
 using Tag = std::int32_t;
 
+/// Wildcard receive patterns (MPI_ANY_SOURCE / MPI_ANY_TAG analogues).
+inline constexpr int kAnySource = -1;
+inline constexpr Tag kAnyTag = INT32_MIN;
+
 /// Well-known tags used by DynMo subsystems.  User code may use any tag
 /// >= kFirstUserTag.
 enum ReservedTag : Tag {

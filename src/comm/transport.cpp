@@ -1,0 +1,36 @@
+#include "comm/transport.hpp"
+
+#include <string>
+
+#include "comm/inproc_transport.hpp"
+#include "comm/socket_transport.hpp"
+#include "core/error.hpp"
+
+namespace dynmo::comm {
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::InProc: return "inproc";
+    case TransportKind::Socket: return "socket";
+  }
+  return "unknown";
+}
+
+TransportKind parse_transport(std::string_view name) {
+  if (name == "inproc") return TransportKind::InProc;
+  if (name == "socket") return TransportKind::Socket;
+  throw Error("unknown transport '" + std::string(name) +
+              "' (expected 'inproc' or 'socket')");
+}
+
+std::unique_ptr<Transport> make_transport(TransportKind kind, int num_ranks) {
+  switch (kind) {
+    case TransportKind::InProc:
+      return std::make_unique<InProcTransport>(num_ranks);
+    case TransportKind::Socket:
+      return std::make_unique<SocketTransport>(num_ranks);
+  }
+  throw Error("unknown TransportKind");
+}
+
+}  // namespace dynmo::comm

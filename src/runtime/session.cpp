@@ -373,10 +373,23 @@ void TrainingSession::account_outcome(const balance::RebalanceOutcome& outcome,
         static_cast<std::int64_t>(outcome.migration.transfers.size());
     row.imbalance_before = outcome.imbalance_before;
     row.imbalance_after = outcome.imbalance_after;
+    // Already zeroed by run_rebalance() under telemetry.deterministic.
     row.decide_s = outcome.overhead.decide_s;
     R.trace->write_rebalance_decision(row);
     emit_migration_rows(iter, trigger, outcome.migration);
   }
+}
+
+balance::RebalanceOutcome TrainingSession::run_rebalance(
+    const balance::LayerProfile& profile, const pipeline::StageMap& map) {
+  auto outcome = run_->rebalancer->rebalance(profile, map);
+  // decide_s is the one measured (machine-dependent) overhead the session
+  // produces; every other term is modeled.  Deterministic traces zero it
+  // here — before it flows into rebalance_decisions rows or the event_s /
+  // stall_s accumulators — so the whole trace is a pure function of the
+  // scenario (the golden-trace gate depends on this).
+  if (cfg_.telemetry.deterministic) outcome.overhead.decide_s = 0.0;
+  return outcome;
 }
 
 void TrainingSession::start() {
@@ -716,7 +729,7 @@ void TrainingSession::execute_forced_shrink(double& event_time,
   for (const auto& l : model_->layers) {
     profile.params.push_back(static_cast<double>(l.params));
   }
-  const auto rb = R.rebalancer->rebalance(profile, R.map);
+  const auto rb = run_rebalance(profile, R.map);
   R.map = rb.map;
   account_outcome(rb, 1.0, R.iter, "post_restart");
   balance::OverheadBreakdown polish = rb.overhead;
@@ -820,7 +833,7 @@ void TrainingSession::execute_worker_loss(int victim, double& event_time,
   for (const auto& l : model_->layers) {
     profile.params.push_back(static_cast<double>(l.params));
   }
-  const auto rb = R.rebalancer->rebalance(profile, R.map);
+  const auto rb = run_rebalance(profile, R.map);
   R.map = rb.map;
   account_outcome(rb, 1.0, iter, "post_restart");
   balance::OverheadBreakdown polish = rb.overhead;
@@ -985,7 +998,7 @@ double TrainingSession::step() {
     }
     balance::add_measurement_noise(profile, R.noise_rng);
 
-    const auto outcome = R.rebalancer->rebalance(profile, map);
+    const auto outcome = run_rebalance(profile, map);
     map = outcome.map;
     account_outcome(outcome, events_per_window, iter, "periodic");
     balance::OverheadBreakdown scaled = outcome.overhead;
@@ -1122,7 +1135,7 @@ double TrainingSession::step() {
           // Rebalance within the survivors right away (a one-off event,
           // accounted like any other rebalance, except profiling: the
           // polish reuses the profile already charged above).
-          const auto rb = R.rebalancer->rebalance(profile, map);
+          const auto rb = run_rebalance(profile, map);
           map = rb.map;
           account_outcome(rb, 1.0, iter, "post_pack");
           balance::OverheadBreakdown polish = rb.overhead;
@@ -1206,7 +1219,7 @@ double TrainingSession::step() {
         // above is memory-driven; polish with a time rebalance over the
         // new worker count, accounted like the post-pack polish.
         R.rebalancer.emplace(make_rebalancer(R.active));
-        const auto rb = R.rebalancer->rebalance(profile, map);
+        const auto rb = run_rebalance(profile, map);
         map = rb.map;
         account_outcome(rb, 1.0, iter, "post_restart");
         balance::OverheadBreakdown polish = rb.overhead;

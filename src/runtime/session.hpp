@@ -377,6 +377,11 @@ class TrainingSession {
                               double scale);
   void account_outcome(const balance::RebalanceOutcome& outcome, double scale,
                        std::int64_t iter, const char* trigger);
+  /// All rebalances (periodic, post-pack, post-restart) go through here:
+  /// under telemetry.deterministic the measured decide_s is zeroed at the
+  /// source, before it can leak into event_s/stall_s sums downstream.
+  balance::RebalanceOutcome run_rebalance(const balance::LayerProfile& profile,
+                                          const pipeline::StageMap& map);
   /// Execute a queued request_shrink() (no-op without one); stall and
   /// polish overhead are charged into the current step's accumulators.
   void execute_forced_shrink(double& event_time, double& iter_restart_stall);

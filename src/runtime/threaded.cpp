@@ -293,7 +293,7 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
                 "heartbeat timeout must be positive");
   }
 
-  comm::World world(cfg_.workers);
+  comm::World world(cfg_.workers, cfg_.transport);
   const ThreadedConfig cfg = cfg_;
 
   fault::FaultPlan plan = cfg_.fault;
@@ -316,6 +316,7 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
   if (cfg_.telemetry.enabled()) {
     telemetry::RunInfo info;
     info.producer = "threaded";
+    info.transport = comm::to_string(cfg_.transport);
     for (const auto& ph : phases) info.iterations += ph.iterations;
     info.rebalance_interval = 0;  // maps change by plan, not by balancer
     info.pipeline_stages = cfg_.workers;
@@ -430,9 +431,12 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
           row.workers_after = before - 1;
           // Measured wall stall of detect-to-resume; the modeled
           // breakdown terms stay 0 in this runtime (docs/TELEMETRY.md).
-          row.stall_s = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+          // Deterministic traces zero the measurement at the source.
+          row.stall_s = cfg.telemetry.deterministic
+                            ? 0.0
+                            : std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
           row.lost_iters = victim_at > global_it ? victim_at - global_it : 0;
           trace->write_fault_event(row);
         }
@@ -614,9 +618,12 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
           row.workers_after = after;
           // Measured wall stall of the whole gather/serialize/broadcast/
           // reload/re-split sequence; the modeled breakdown terms stay 0.
-          row.stall_s = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - restart_t0)
-                            .count();
+          row.stall_s = cfg.telemetry.deterministic
+                            ? 0.0
+                            : std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  restart_t0)
+                                  .count();
           trace->write_elastic_transition(row);
           world_active = after;
         }
@@ -855,9 +862,11 @@ ThreadedReport ThreadedPipeline::run(const std::vector<PlanPhase>& phases) {
             // iter — the trace records what actually ran.
             telemetry::IterationRow row;
             row.iter = global_it;
-            row.time_s = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - iter_t0)
-                             .count();
+            row.time_s = cfg.telemetry.deterministic
+                             ? 0.0
+                             : std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - iter_t0)
+                                   .count();
             row.active_workers = world_active;
             trace->write_iteration(row);
           }

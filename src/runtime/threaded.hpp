@@ -38,6 +38,11 @@ struct ThreadedConfig {
   bool apply_weight_update = false;  ///< tiny SGD step per backward
   double learning_rate = 1e-3;
   std::uint64_t seed = 0x5eed;
+  /// Which comm backend carries every activation, gradient, migration,
+  /// checkpoint, and heartbeat-era control message (docs/TRANSPORT.md).
+  /// The runtime is transport-agnostic: any backend must produce the same
+  /// checksums — the golden-trace CI gate holds it to that.
+  comm::TransportKind transport = comm::TransportKind::InProc;
   /// Structured trace emission (docs/TELEMETRY.md): this runtime records
   /// measured wall-clock, not modeled costs — iterations rows come from
   /// rank 0 while it hosts layers (bottleneck/idleness stay 0), migrations

@@ -206,7 +206,15 @@ struct FleetDecisionRow {
 /// needs to reconstruct the balancer configuration the session resolved
 /// (docs/TELEMETRY.md "Replay").
 struct RunInfo {
-  std::string producer;  ///< "session" | "threaded"
+  std::string producer;  ///< "session" | "threaded" | "fleet"
+  /// comm backend that carried the run's messages ("inproc" | "socket");
+  /// empty for modeled producers that never open a comm::World.  Stripped
+  /// (with `machine`) by the golden-trace gate's catalog compare — it is
+  /// backend metadata, not trace content.
+  std::string transport;
+  /// Hostname the trace was recorded on; filled by TraceWriter when left
+  /// empty.  Machine metadata, stripped by the golden-trace compare.
+  std::string machine;
   std::int64_t iterations = 0;
   std::int64_t sim_stride = 1;
   std::int64_t rebalance_interval = 0;
@@ -236,6 +244,12 @@ struct TelemetryConfig {
   /// Record the per-layer arrays in stage_loads (required for replay;
   /// turn off to shrink traces when only stage totals are wanted).
   bool per_layer = true;
+  /// Zero the *measured* wall-clock columns at the producer (session
+  /// decide_s; threaded time_s / stall_s) so two runs of the same scenario
+  /// emit byte-identical tables on any machine and any backend.  Modeled
+  /// times are untouched — they are deterministic already.  This is what
+  /// the golden-trace CI gate records with (docs/TRANSPORT.md).
+  bool deterministic = false;
 
   bool enabled() const { return !dir.empty(); }
 };

@@ -82,6 +82,11 @@ TraceReader::TraceReader(std::string dir) : dir_(std::move(dir)) {
   const JsonValue& run = member(doc, "run");
   RunInfo& r = catalog_.run;
   r.producer = member(run, "producer").as_string();
+  // Backend/machine metadata arrived with the transport split; parse
+  // tolerantly so pre-split traces (and golden catalogs with the lines
+  // stripped) still load.
+  if (const JsonValue* t = run.find("transport")) r.transport = t->as_string();
+  if (const JsonValue* m = run.find("machine")) r.machine = m->as_string();
   r.iterations = member(run, "iterations").as_int();
   r.sim_stride = member(run, "sim_stride").as_int();
   r.rebalance_interval = member(run, "rebalance_interval").as_int();

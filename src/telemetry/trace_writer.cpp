@@ -1,5 +1,7 @@
 #include "telemetry/trace_writer.hpp"
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <span>
 #include <type_traits>
@@ -76,6 +78,10 @@ std::size_t table_index(std::string_view name) {
 TraceWriter::TraceWriter(TelemetryConfig cfg, RunInfo run)
     : cfg_(std::move(cfg)), run_(std::move(run)) {
   DYNMO_CHECK(cfg_.enabled(), "TraceWriter needs a trace directory");
+  if (run_.machine.empty()) {
+    char host[256] = {};
+    if (::gethostname(host, sizeof host - 1) == 0) run_.machine = host;
+  }
   std::error_code ec;
   std::filesystem::create_directories(cfg_.dir, ec);
   DYNMO_CHECK(!ec, "cannot create trace directory " << cfg_.dir << ": "
@@ -283,6 +289,10 @@ void TraceWriter::write_catalog() {
     out += comma ? ",\n" : "\n";
   };
   str_field("producer", run_.producer);
+  // Backend/machine metadata: each on its own line so the golden-trace
+  // gate can strip exactly these before byte-comparing catalogs.
+  str_field("transport", run_.transport);
+  str_field("machine", run_.machine);
   int_field("iterations", run_.iterations);
   int_field("sim_stride", run_.sim_stride);
   int_field("rebalance_interval", run_.rebalance_interval);
@@ -301,7 +311,8 @@ void TraceWriter::write_catalog() {
   list_field("stage_to_rank", run_.stage_to_rank);
   list_field("capacities", run_.capacities);
   list_field("layer_params", run_.layer_params);
-  bool_field("per_layer", cfg_.per_layer, /*comma=*/false);
+  bool_field("per_layer", cfg_.per_layer);
+  bool_field("deterministic", cfg_.deterministic, /*comma=*/false);
   out += "  },\n";
 
   out += "  \"tables\": [\n";

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Golden-trace CI gate (docs/TRANSPORT.md "Golden-trace gate").
+#
+# Replays the two canonical deterministic scenarios with golden_trace_gen
+# and byte-compares every telemetry table against the committed goldens in
+# tests/golden/:
+#
+#   session         -- modeled 8-stage session; pins the trace format.
+#                      Transport-independent (no comm::World behind it).
+#   threaded_fault  -- heartbeat-detected worker-loss recovery; replayed on
+#                      BOTH transport backends.  The same bytes must come
+#                      out of inproc and socket: this is the proof that the
+#                      transport never leaks into the math (checksums.txt)
+#                      or the telemetry (JSONL tables).
+#
+# Every .jsonl table and checksums.txt must match byte-for-byte.  The
+# catalog.json is compared modulo its two machine-dependent metadata lines
+# ("transport", "machine") -- trace_writer emits each on its own line for
+# exactly this reason.  Any other drift fails the gate with exit 1.
+#
+# Usage: tools/check_golden_trace.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+GEN="$BUILD/golden_trace_gen"
+GOLD="$ROOT/tests/golden"
+
+if [ ! -x "$GEN" ]; then
+    echo "error: $GEN not built (cmake --build $BUILD --target golden_trace_gen)" >&2
+    exit 2
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+fail=0
+
+# catalog.json minus the per-machine / per-backend metadata lines.
+strip_catalog() {
+    grep -vE '^    "(transport|machine)": ' "$1"
+}
+
+# compare_dir GOLDEN_DIR REPLAY_DIR LABEL
+compare_dir() {
+    local gold="$1" replay="$2" label="$3" base
+    # Same file set on both sides: a table appearing or vanishing is drift
+    # just as much as a row changing.
+    if ! diff <(cd "$gold" && ls) <(cd "$replay" && ls) >/dev/null; then
+        echo "DRIFT[$label]: file set differs from golden:"
+        diff <(cd "$gold" && ls) <(cd "$replay" && ls) | sed 's/^/    /'
+        fail=1
+    fi
+    for f in "$gold"/*; do
+        base="$(basename "$f")"
+        [ -f "$replay/$base" ] || continue
+        if [ "$base" = catalog.json ]; then
+            if ! diff <(strip_catalog "$f") <(strip_catalog "$replay/$base") >/dev/null; then
+                echo "DRIFT[$label]: catalog.json differs beyond transport/machine:"
+                diff <(strip_catalog "$f") <(strip_catalog "$replay/$base") | head -8 | sed 's/^/    /'
+                fail=1
+            fi
+        elif ! cmp -s "$f" "$replay/$base"; then
+            echo "DRIFT[$label]: $base differs from golden:"
+            diff "$f" "$replay/$base" | head -6 | sed 's/^/    /'
+            fail=1
+        fi
+    done
+}
+
+mkdir "$TMP/session"
+"$GEN" --scenario session --out "$TMP/session" >/dev/null
+compare_dir "$GOLD/session" "$TMP/session" session
+
+for t in inproc socket; do
+    mkdir "$TMP/fault_$t"
+    # golden_trace_gen itself exits 2 if the recovery checksums diverge
+    # from the fault-free twin, so a passing replay already proves the
+    # bit-identical-recovery contract on this backend.
+    "$GEN" --scenario threaded_fault --out "$TMP/fault_$t" --transport "$t" >/dev/null
+    compare_dir "$GOLD/threaded_fault" "$TMP/fault_$t" "threaded_fault/$t"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "golden-trace gate: DRIFT (see above; if intentional, regenerate" \
+         "tests/golden/ with golden_trace_gen and commit)"
+    exit 1
+fi
+echo "golden-trace gate: OK (session + threaded_fault on inproc and socket)"

@@ -189,8 +189,12 @@ def parse_where(expr):
 
 def summarize(catalog):
     run = catalog.get("run", {})
+    # transport is empty for modeled producers (no comm::World behind them)
+    # and absent entirely in pre-transport-split traces.
+    transport = run.get("transport") or "n/a"
     print(f"format {catalog['format']} v{catalog['schema_version']}, "
           f"producer {run.get('producer', '?')}, "
+          f"transport {transport}, "
           f"mode {run.get('mode', '?')}, "
           f"{run.get('pipeline_stages', '?')} stages x "
           f"dp {run.get('data_parallel', '?')}, "
