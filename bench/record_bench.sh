@@ -10,6 +10,7 @@
 #   bench/BENCH_trace_overhead.json    (telemetry observer-effect gate)
 #   bench/BENCH_fault.json             (MTBF x checkpoint-cadence sweep)
 #   bench/BENCH_micro_comm.json        (per-op comm volume, both transports)
+#   bench/BENCH_scale.json             (decision-path work counters, 1k-16k)
 #   bench/BENCH_fig3_<use_case>.json   (the six Figure-3 panels)
 # with the current aggregates.  All bench arithmetic is deterministic
 # (fixed seeds, analytic cost models) and throughputs are rounded past the
@@ -33,6 +34,7 @@ BENCHES=(
   trace_overhead
   fault
   micro_comm
+  scale
   fig3_early_exit
   fig3_freezing
   fig3_mod

@@ -73,9 +73,9 @@ MigrationCost MigrationPlan::exposed_cost(
   return cost;
 }
 
-MigrationPlan plan_migration(const pipeline::StageMap& before,
-                             const pipeline::StageMap& after,
-                             std::span<const double> state_bytes) {
+MigrationPlan plan_migration_full_rescan(const pipeline::StageMap& before,
+                                         const pipeline::StageMap& after,
+                                         std::span<const double> state_bytes) {
   DYNMO_CHECK(before.num_layers() == after.num_layers(),
               "stage maps cover different layer counts");
   DYNMO_CHECK(state_bytes.size() == before.num_layers(),
@@ -88,6 +88,60 @@ MigrationPlan plan_migration(const pipeline::StageMap& before,
       plan.transfers.push_back(LayerTransfer{l, src, dst, state_bytes[l]});
     }
   }
+  return plan;
+}
+
+MigrationPlan plan_migration(const pipeline::StageMap& before,
+                             const pipeline::StageMap& after,
+                             std::span<const double> state_bytes) {
+  DYNMO_CHECK(before.num_layers() == after.num_layers(),
+              "stage maps cover different layer counts");
+  DYNMO_CHECK(state_bytes.size() == before.num_layers(),
+              "state_bytes size mismatch");
+  const auto& bb = before.boundaries();
+  const auto& ab = after.boundaries();
+  if (bb.size() != ab.size()) {
+    // Stage counts differ: the interval argument does not apply, so diff
+    // every layer (rare — only synthetic callers compare unequal shapes).
+    return plan_migration_full_rescan(before, after, state_bytes);
+  }
+  // A layer l outside every boundary-difference interval satisfies
+  // b_s <= l ⇔ a_s <= l for all s, hence StageMap::stage_of (a pure
+  // function of those comparisons) places it identically in both maps.
+  // Interval starts and ends are non-decreasing in s (both boundary
+  // vectors are sorted), so one forward pass merges overlapping intervals
+  // and scans each merged range in ascending layer order — the exact
+  // transfer order of the full sweep.
+  MigrationPlan plan;
+  bool open = false;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  const auto flush = [&]() {
+    for (std::size_t l = lo; l < hi; ++l) {
+      const int src = before.stage_of(l);
+      const int dst = after.stage_of(l);
+      if (src != dst) {
+        plan.transfers.push_back(LayerTransfer{l, src, dst, state_bytes[l]});
+      }
+    }
+  };
+  for (std::size_t s = 1; s + 1 < bb.size(); ++s) {
+    if (bb[s] == ab[s]) continue;
+    const std::size_t a = std::min(bb[s], ab[s]);
+    const std::size_t b = std::max(bb[s], ab[s]);
+    if (!open) {
+      open = true;
+      lo = a;
+      hi = b;
+    } else if (a <= hi) {
+      hi = std::max(hi, b);
+    } else {
+      flush();
+      lo = a;
+      hi = b;
+    }
+  }
+  if (open) flush();
   return plan;
 }
 

@@ -56,8 +56,22 @@ struct MigrationPlan {
 
 /// Diff `before` → `after`; `state_bytes[l]` is what layer l's migration
 /// actually moves (params+grads+optimizer; CSR index arrays when pruned).
+///
+/// Incremental: when both maps have the same stage count, only the layers
+/// inside a boundary-difference interval [min(b_s, a_s), max(b_s, a_s))
+/// can change stages (an integer argument on the sorted boundary vectors),
+/// so only those intervals are scanned — O(moved + changed-boundaries)
+/// instead of O(L).  The transfers are bit-identical, in the same
+/// ascending-layer order, as the full diff below; the differential suite
+/// (tests/test_incremental_cost.cpp) holds the two to exact equality.
 MigrationPlan plan_migration(const pipeline::StageMap& before,
                              const pipeline::StageMap& after,
                              std::span<const double> state_bytes);
+
+/// Reference twin of plan_migration: the naive full O(L) sweep over every
+/// layer, kept alive under test as the differential oracle.
+MigrationPlan plan_migration_full_rescan(const pipeline::StageMap& before,
+                                         const pipeline::StageMap& after,
+                                         std::span<const double> state_bytes);
 
 }  // namespace dynmo::balance

@@ -22,10 +22,19 @@ struct ProbeResult {
 /// fixed stage order, filling each stage to its own budget uses the minimum
 /// number of stages, so the parametric search stays exact under
 /// heterogeneous speeds.
+///
+/// `feasibility_only`: the parametric-search loops read nothing but
+/// fits_stages, and once the greedy packing has opened more than
+/// num_stages stages that bit can only stay false — so the probe returns
+/// the moment it overflows instead of packing the remaining layers.  The
+/// feasibility answer is identical (the overflow point does not depend on
+/// the skipped suffix); callers needing boundaries/bottleneck/fits_memory
+/// pass false.
 ProbeResult probe_maximal(std::span<const double> w,
                           std::span<const double> mem, double cap,
                           double memcap, int num_stages,
-                          std::span<const double> caps) {
+                          std::span<const double> caps,
+                          bool feasibility_only = false) {
   ProbeResult r;
   r.boundaries.push_back(0);
   const auto stage_cap = [&](std::size_t s) {
@@ -43,6 +52,13 @@ ProbeResult probe_maximal(std::span<const double> w,
     const bool over_load = load + lw > stage_cap(stage) && !stage_empty;
     const bool over_mem = memcap > 0.0 && m + lm > memcap && !stage_empty;
     if (over_load || over_mem) {
+      // About to open another stage: with this push plus the terminal one
+      // the final count is at least boundaries.size()+1 > num_stages.
+      if (feasibility_only &&
+          static_cast<int>(r.boundaries.size()) >= num_stages) {
+        r.fits_stages = false;
+        return r;
+      }
       bottleneck = std::max(bottleneck, load);
       r.boundaries.push_back(i);
       load = 0.0;
@@ -128,7 +144,8 @@ double PartitionBalancer::optimal_bottleneck(std::span<const double> weights,
   double hi = total;
   for (int it = 0; it < 100 && hi - lo > 1e-12 * std::max(1.0, hi); ++it) {
     const double mid = 0.5 * (lo + hi);
-    if (probe_maximal(weights, empty_mem, mid, 0.0, num_stages, {})
+    if (probe_maximal(weights, empty_mem, mid, 0.0, num_stages, {},
+                      /*feasibility_only=*/true)
             .fits_stages) {
       hi = mid;
     } else {
@@ -178,7 +195,8 @@ PartitionResult PartitionBalancer::balance(const PartitionRequest& req) const {
   // make low caps infeasible even when pure-load packing would fit, so the
   // probe enforces both.
   bool any_feasible =
-      probe_maximal(w, mem, hi, req.mem_capacity, req.num_stages, caps)
+      probe_maximal(w, mem, hi, req.mem_capacity, req.num_stages, caps,
+                    /*feasibility_only=*/true)
           .fits_stages;
   if (!any_feasible) {
     // Memory alone forces more than num_stages stages — report least-bad.
@@ -195,7 +213,8 @@ PartitionResult PartitionBalancer::balance(const PartitionRequest& req) const {
 
   for (int it = 0; it < 100 && hi - lo > 1e-12 * std::max(1.0, hi); ++it) {
     const double mid = 0.5 * (lo + hi);
-    if (probe_maximal(w, mem, mid, req.mem_capacity, req.num_stages, caps)
+    if (probe_maximal(w, mem, mid, req.mem_capacity, req.num_stages, caps,
+                      /*feasibility_only=*/true)
             .fits_stages) {
       hi = mid;
     } else {

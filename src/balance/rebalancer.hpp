@@ -7,11 +7,14 @@
 // P2P transfers respectively.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "balance/diffusion.hpp"
+#include "balance/incremental.hpp"
 #include "balance/migration.hpp"
 #include "balance/partition.hpp"
 #include "balance/profile.hpp"
@@ -78,6 +81,15 @@ struct RebalanceConfig {
   std::function<pipeline::StageMap(const DiffusionRequest&,
                                    const pipeline::StageMap&)>
       hierarchical_decider{};
+  /// Incremental decision path (default): the acceptance math — per-stage
+  /// load sums, capacity-normalized bottlenecks, migration diff — is
+  /// served from a balance::CostSurface that re-sums only the stages a
+  /// profile change or candidate move touches, instead of re-pricing the
+  /// whole grid per decision.  Proven *bit-identical* to the naive full
+  /// rescan (Rebalancer::rebalance_full_rescan) by the differential suite
+  /// in tests/test_incremental_cost.cpp, including session-level telemetry
+  /// byte-equality; false forces the reference path.
+  bool incremental = true;
 };
 
 struct OverheadBreakdown {
@@ -128,15 +140,44 @@ class Rebalancer {
       : cfg_(cfg), net_(net) {}
 
   /// Decide a new stage map from the profile; compute migration plan and
-  /// overheads relative to `current`.
+  /// overheads relative to `current`.  Dispatches on
+  /// RebalanceConfig::incremental: the cached decision path by default,
+  /// the naive rescan otherwise — with identical outcomes either way.
   RebalanceOutcome rebalance(const LayerProfile& profile,
                              const pipeline::StageMap& current) const;
 
+  /// Reference twin: the naive decision path that re-prices every stage
+  /// from scratch (full stage_loads + std::max_element + O(L) migration
+  /// diff per decision).  Kept alive under test as the differential
+  /// oracle for the incremental path.
+  RebalanceOutcome rebalance_full_rescan(
+      const LayerProfile& profile, const pipeline::StageMap& current) const;
+
   const RebalanceConfig& config() const { return cfg_; }
 
+  /// Stages the cached decision path re-summed at the last rebalance()
+  /// (profile sync + candidate evaluation) — observability for the
+  /// bench_scale work counters; 0 after a full-rescan dispatch.
+  std::size_t last_touched_stages() const { return last_touched_; }
+
  private:
+  RebalanceOutcome rebalance_incremental(
+      const LayerProfile& profile, const pipeline::StageMap& current) const;
+  /// Candidate generation (the configured balancing algorithm), shared by
+  /// both decision paths so they evaluate the identical candidate map.
+  pipeline::StageMap propose(std::span<const double> weights,
+                             const LayerProfile& profile,
+                             const pipeline::StageMap& current,
+                             std::optional<DiffusionResult>& diffusion) const;
+
   RebalanceConfig cfg_;
   comm::CostModel net_;
+  /// Decision-path cache, carried across rebalance() calls (the whole
+  /// point: stage sums survive from one decision to the next and only
+  /// touched stages are re-summed).  Mutable because rebalance() is
+  /// logically const — the cache never changes an outcome, only its cost.
+  mutable CostSurface surface_;
+  mutable std::size_t last_touched_ = 0;
 };
 
 }  // namespace dynmo::balance

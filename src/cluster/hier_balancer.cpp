@@ -55,11 +55,26 @@ double topo_migration_time(const balance::MigrationPlan& plan,
                            const Topology& topo,
                            std::span<const int> stage_to_rank) {
   std::map<int, double> rank_time;
+  // Topology::p2p_time runs a full single-source shortest-path per call;
+  // transfers cluster on few source ranks, so memoize each source's row
+  // (best_paths_from) and price every transfer from the cached PathInfo —
+  // the identical object p2p_time would have read, so identical times.
+  std::map<int, std::vector<PathInfo>> paths_from;
+  const auto p2p = [&](int src, int dst, std::size_t bytes) {
+    if (src == dst) return 0.0;
+    auto it = paths_from.find(src);
+    if (it == paths_from.end()) {
+      it = paths_from.emplace(src, topo.best_paths_from(src)).first;
+    }
+    const PathInfo& p = it->second[static_cast<std::size_t>(dst)];
+    DYNMO_CHECK(p.reachable(),
+                "ranks " << src << " and " << dst << " are disconnected");
+    return p.time_s(bytes);
+  };
   for (const auto& t : plan.transfers) {
     const int src = stage_to_rank[static_cast<std::size_t>(t.src_stage)];
     const int dst = stage_to_rank[static_cast<std::size_t>(t.dst_stage)];
-    const double s =
-        topo.p2p_time(src, dst, static_cast<std::size_t>(t.bytes));
+    const double s = p2p(src, dst, static_cast<std::size_t>(t.bytes));
     rank_time[src] += s;
     rank_time[dst] += s;
   }
@@ -302,8 +317,12 @@ HierResult HierarchicalBalancer::balance(
       }
       return worst;
     };
-    if (normalized_bottleneck(inter_map) <
-        normalized_bottleneck(map) * (1.0 - cfg_.inter_node_gain)) {
+    // Each bottleneck is an O(L + S) rescan — evaluate the two maps once
+    // and reuse (pure function of (map, w, cap), so values are identical
+    // to re-evaluating at each use).
+    const double nb_intra = normalized_bottleneck(map);
+    const double nb_inter = normalized_bottleneck(inter_map);
+    if (nb_inter < nb_intra * (1.0 - cfg_.inter_node_gain)) {
       // Payoff window: the inter map's bottleneck gain (per iteration, in
       // the weights' units — seconds under time balancing) must also cover
       // the *extra* exposed transfer cost it pays over the intra-only map,
@@ -311,8 +330,7 @@ HierResult HierarchicalBalancer::balance(
       bool pays_off = true;
       if (cfg_.payoff_window_iters > 0.0 &&
           req.memory_bytes.size() == start.num_layers()) {
-        const double gain = normalized_bottleneck(map) -
-                            normalized_bottleneck(inter_map);
+        const double gain = nb_intra - nb_inter;
         const auto to_inter =
             balance::plan_migration(start, inter_map, req.memory_bytes);
         const auto to_intra =

@@ -6,6 +6,28 @@
 
 namespace dynmo::pipeline {
 
+namespace {
+
+/// Field-for-field LayerState equality — the memo invalidation predicate.
+/// Exact comparison is deliberate: a cache hit returns the very doubles the
+/// full evaluation produced, so memoized results are bit-identical.
+bool same_state(const model::LayerState& a, const model::LayerState& b) {
+  return a.weight_density == b.weight_density && a.frozen == b.frozen &&
+         a.attn_density == b.attn_density &&
+         a.token_fraction == b.token_fraction && a.moe_load == b.moe_load &&
+         a.compute_scale == b.compute_scale &&
+         a.spmm_backend == b.spmm_backend;
+}
+
+}  // namespace
+
+CostBuilder::LayerMemo& CostBuilder::memo_slot(std::size_t layer) const {
+  if (memo_.size() != model_->num_layers()) {
+    memo_.assign(model_->num_layers(), LayerMemo{});
+  }
+  return memo_[layer];
+}
+
 int CostBuilder::rank_of_stage(int stage) const {
   if (cfg_.stage_to_rank.empty()) return stage;
   DYNMO_CHECK(stage >= 0 &&
@@ -16,6 +38,35 @@ int CostBuilder::rank_of_stage(int stage) const {
 }
 
 std::vector<model::LayerTimes> CostBuilder::layer_times(
+    std::span<const model::LayerState> states) const {
+  DYNMO_CHECK(states.size() == model_->num_layers(),
+              "state count " << states.size() << " != layer count "
+                             << model_->num_layers());
+  std::vector<model::LayerTimes> times;
+  times.reserve(states.size());
+  for (std::size_t l = 0; l < states.size(); ++l) {
+    times.push_back(ref_layer_times(l, states[l]));
+  }
+  return times;
+}
+
+const model::LayerTimes& CostBuilder::ref_layer_times(
+    std::size_t layer, const model::LayerState& state) const {
+  LayerMemo& slot = memo_slot(layer);
+  if (!same_state(slot.state, state)) {
+    slot.state = state;
+    slot.times_valid = false;
+    slot.mem_valid = false;  // memory was priced under the old state
+  }
+  if (!slot.times_valid) {
+    slot.times = stage_costs_.reference().layer_times(
+        model_->layers[layer], state, cfg_.micro_batch);
+    slot.times_valid = true;
+  }
+  return slot.times;
+}
+
+std::vector<model::LayerTimes> CostBuilder::layer_times_full_rescan(
     std::span<const model::LayerState> states) const {
   DYNMO_CHECK(states.size() == model_->num_layers(),
               "state count " << states.size() << " != layer count "
@@ -52,6 +103,35 @@ std::vector<double> CostBuilder::layer_memory_bytes(
     const int s = map.stage_of(l);
     const int resident =
         std::min(cfg_.num_microbatches, map.num_stages() - s);
+    LayerMemo& slot = memo_slot(l);
+    if (!same_state(slot.state, states[l])) {
+      slot.state = states[l];
+      slot.times_valid = false;
+      slot.mem_valid = false;
+    }
+    if (!slot.mem_valid || slot.mem_resident != resident) {
+      slot.mem_bytes = ref.layer_memory_bytes(
+          model_->layers[l], states[l], cfg_.micro_batch,
+          static_cast<std::size_t>(std::max(1, resident)));
+      slot.mem_resident = resident;
+      slot.mem_valid = true;
+    }
+    mem.push_back(slot.mem_bytes);
+  }
+  return mem;
+}
+
+std::vector<double> CostBuilder::layer_memory_bytes_full_rescan(
+    std::span<const model::LayerState> states, const StageMap& map) const {
+  DYNMO_CHECK(states.size() == model_->num_layers(), "state count mismatch");
+  DYNMO_CHECK(map.num_layers() == model_->num_layers(), "map layer mismatch");
+  const model::LayerCostModel& ref = stage_costs_.reference();
+  std::vector<double> mem;
+  mem.reserve(states.size());
+  for (std::size_t l = 0; l < states.size(); ++l) {
+    const int s = map.stage_of(l);
+    const int resident =
+        std::min(cfg_.num_microbatches, map.num_stages() - s);
     mem.push_back(ref.layer_memory_bytes(
         model_->layers[l], states[l], cfg_.micro_batch,
         static_cast<std::size_t>(std::max(1, resident))));
@@ -66,12 +146,18 @@ StageCosts CostBuilder::build(std::span<const model::LayerState> states,
   const int S = map.num_stages();
   StageCosts costs(S, cfg_.num_microbatches);
 
+  // Homogeneous hardware: every stage() is the reference model, so the
+  // per-layer memo behind layer_times() answers directly (bit-identical —
+  // it stores the very doubles the reference model produced).
+  const bool homogeneous = !stage_costs_.per_stage();
   for (int s = 0; s < S; ++s) {
     // Each stage's compute is charged on the GPU actually hosting it.
     const model::LayerCostModel& lc = stage_costs_.stage(s);
     for (std::size_t l = map.stage_begin(s); l < map.stage_end(s); ++l) {
       const auto t =
-          lc.layer_times(model_->layers[l], states[l], cfg_.micro_batch);
+          homogeneous
+              ? ref_layer_times(l, states[l])
+              : lc.layer_times(model_->layers[l], states[l], cfg_.micro_batch);
       for (int mb = 0; mb < cfg_.num_microbatches; ++mb) {
         const double scale = mb_scale ? std::max(0.0, mb_scale(l, mb)) : 1.0;
         costs.fwd(s, mb) += t.forward_s * scale;

@@ -49,7 +49,18 @@ class CostBuilder {
 
   /// Per-layer times for the current states (one microbatch) on the
   /// *reference* GPU — the profile currency the balancers consume.
+  ///
+  /// Memoized per layer on the LayerState: the roofline evaluation reruns
+  /// only for layers whose dynamic state changed since the last call
+  /// (dynamism typically perturbs a few layers per step; frozen and
+  /// steady-state layers are cache hits returning the stored doubles —
+  /// bit-identical by construction).  Invalidation rule: any field of the
+  /// layer's LayerState differing from the cached snapshot.
   std::vector<model::LayerTimes> layer_times(
+      std::span<const model::LayerState> states) const;
+  /// Reference twin of layer_times(): always re-evaluates the cost model,
+  /// kept alive under test as the differential oracle for the memo.
+  std::vector<model::LayerTimes> layer_times_full_rescan(
       std::span<const model::LayerState> states) const;
 
   /// Per-layer total (fwd+bwd) seconds — the balancers' by-time weights.
@@ -57,8 +68,13 @@ class CostBuilder {
       std::span<const model::LayerState> states) const;
 
   /// Per-layer memory bytes under the given stage map (activation residency
-  /// scales with in-flight microbatches = stage depth for 1F1B).
+  /// scales with in-flight microbatches = stage depth for 1F1B).  Memoized
+  /// per layer on (LayerState, resident microbatches) — a layer re-prices
+  /// only when its state or its stage-depth-derived residency changed.
   std::vector<double> layer_memory_bytes(
+      std::span<const model::LayerState> states, const StageMap& map) const;
+  /// Reference twin of layer_memory_bytes(): always re-evaluates.
+  std::vector<double> layer_memory_bytes_full_rescan(
       std::span<const model::LayerState> states, const StageMap& map) const;
 
   /// Assemble the full StageCosts table for one iteration: compute per
@@ -80,10 +96,31 @@ class CostBuilder {
   const comm::CostModel& comm_cost_model() const { return comm_costs_; }
 
  private:
+  /// One memo slot per layer.  `state` is the snapshot the cached values
+  /// were priced under; a slot is valid only while the layer's current
+  /// LayerState equals it field-for-field.
+  struct LayerMemo {
+    model::LayerState state{};
+    bool times_valid = false;
+    model::LayerTimes times{};
+    bool mem_valid = false;
+    int mem_resident = -1;
+    double mem_bytes = 0.0;
+  };
+  LayerMemo& memo_slot(std::size_t layer) const;
+  /// Memoized reference-GPU times for one layer (the shared cache behind
+  /// layer_times() and the homogeneous fast path of build()).
+  const model::LayerTimes& ref_layer_times(
+      std::size_t layer, const model::LayerState& state) const;
+
   const model::ModelDesc* model_;
   model::StageCostModels stage_costs_;
   comm::CostModel comm_costs_;
   CostBuilderConfig cfg_;
+  /// Per-layer memo for layer_times / layer_memory_bytes (reference GPU).
+  /// CostBuilder is consumed single-threaded (runtime session), so the
+  /// mutable cache needs no lock.
+  mutable std::vector<LayerMemo> memo_;
 };
 
 }  // namespace dynmo::pipeline

@@ -45,8 +45,12 @@ class StageMap {
   bool stage_empty(int s) const { return stage_size(s) == 0; }
 
   /// Stage hosting `layer` (layers on a boundary belong to the later-begun
-  /// stage); empty stages are skipped naturally.
+  /// stage); empty stages are skipped naturally.  O(log S) binary search
+  /// over the boundaries.
   int stage_of(std::size_t layer) const;
+  /// Reference twin of stage_of: the original O(S) linear scan, kept alive
+  /// under test as the differential oracle for the binary search.
+  int stage_of_full_rescan(std::size_t layer) const;
 
   /// Per-stage sums of an arbitrary per-layer quantity.
   std::vector<double> stage_loads(std::span<const double> per_layer) const;

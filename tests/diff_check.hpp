@@ -1,0 +1,74 @@
+// Reusable lockstep differential harness for the incremental decision
+// path (tests/test_incremental_cost.cpp, docs/COST_MODEL.md "Incremental
+// recomputation").
+//
+// The equivalence contract says every incremental surface is *bit-
+// identical* to its full-rescan twin, so the natural test shape is a
+// seeded perturbation stream driven through both implementations in
+// lockstep, comparing after every step.  This header packages that shape:
+//
+//   auto r = dynmo::testing::diff_check(
+//       seed, steps,
+//       [&](std::mt19937_64& rng, int step) { /* perturb BOTH paths */ },
+//       [&](int step) -> std::optional<std::string> {
+//         /* return divergence description, or nullopt when equal */
+//       },
+//       [&] { return /* full state dump for the failure report */; });
+//   EXPECT_TRUE(r.ok) << r.report;
+//
+// On the first diverging step the harness stops and assembles a report
+// carrying the step index, the seed (so the exact stream replays under a
+// debugger), the caller's divergence description, and the caller's full
+// state dump.  The compare callback also runs once before any
+// perturbation (step -1) so a broken initial state is caught as such
+// rather than blamed on the first perturbation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+
+namespace dynmo::testing {
+
+struct DiffCheckResult {
+  bool ok = true;
+  /// First diverging step (-1 = the initial states already disagreed;
+  /// only meaningful when !ok).
+  int first_divergence = 0;
+  /// Human-readable failure report: step, seed, divergence, state dump.
+  std::string report;
+};
+
+/// Drive `steps` perturbations from a deterministic seeded stream through
+/// both implementations in lockstep.  `perturb(rng, step)` must apply the
+/// same mutation to the incremental and the reference path (drawing all
+/// randomness from `rng`); `compare(step)` returns a description of any
+/// divergence or std::nullopt when the paths agree exactly; `dump_state()`
+/// is only invoked on failure.
+inline DiffCheckResult diff_check(
+    std::uint64_t seed, int steps,
+    const std::function<void(std::mt19937_64&, int)>& perturb,
+    const std::function<std::optional<std::string>(int)>& compare,
+    const std::function<std::string()>& dump_state) {
+  const auto fail = [&](int step, const std::string& what) {
+    std::ostringstream os;
+    os << "lockstep divergence at step " << step << " of " << steps
+       << " (seed 0x" << std::hex << seed << std::dec << "):\n  " << what
+       << "\nfull state dump:\n" << dump_state();
+    return DiffCheckResult{false, step, os.str()};
+  };
+  if (auto d = compare(-1)) {
+    return fail(-1, "initial states disagree before any perturbation: " + *d);
+  }
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < steps; ++i) {
+    perturb(rng, i);
+    if (auto d = compare(i)) return fail(i, *d);
+  }
+  return {};
+}
+
+}  // namespace dynmo::testing

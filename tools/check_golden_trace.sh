@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
 # Golden-trace CI gate (docs/TRANSPORT.md "Golden-trace gate").
 #
-# Replays the two canonical deterministic scenarios with golden_trace_gen
-# and byte-compares every telemetry table against the committed goldens in
+# Replays the canonical deterministic scenarios with golden_trace_gen and
+# byte-compares every telemetry table against the committed goldens in
 # tests/golden/:
 #
 #   session         -- modeled 8-stage session; pins the trace format.
 #                      Transport-independent (no comm::World behind it).
+#                      Replayed with the incremental decision path forced
+#                      ON and OFF -- both must match the one golden.
+#   large_grid      -- 2x32 DP*PP grid on 8 DGX-H100 nodes, diffusion
+#                      every frame; the canonical scenario for the
+#                      incremental cost surfaces.  Also replayed under
+#                      both decision paths: identical bytes here are the
+#                      session-level proof that incremental caching
+#                      changes no decision (docs/COST_MODEL.md
+#                      "Incremental recomputation").
 #   threaded_fault  -- heartbeat-detected worker-loss recovery; replayed on
 #                      BOTH transport backends.  The same bytes must come
 #                      out of inproc and socket: this is the proof that the
@@ -67,9 +76,16 @@ compare_dir() {
     done
 }
 
-mkdir "$TMP/session"
-"$GEN" --scenario session --out "$TMP/session" >/dev/null
-compare_dir "$GOLD/session" "$TMP/session" session
+# Both decision paths must reproduce the same committed golden: the
+# incremental cost surface may change no decision, bottleneck, priced
+# cost, or telemetry byte relative to the full-rescan reference.
+for s in session large_grid; do
+    for p in incremental rescan; do
+        mkdir "$TMP/${s}_$p"
+        "$GEN" --scenario "$s" --out "$TMP/${s}_$p" --decision-path "$p" >/dev/null
+        compare_dir "$GOLD/$s" "$TMP/${s}_$p" "$s/$p"
+    done
+done
 
 for t in inproc socket; do
     mkdir "$TMP/fault_$t"
@@ -85,4 +101,5 @@ if [ "$fail" -ne 0 ]; then
          "tests/golden/ with golden_trace_gen and commit)"
     exit 1
 fi
-echo "golden-trace gate: OK (session + threaded_fault on inproc and socket)"
+echo "golden-trace gate: OK (session + large_grid on both decision paths," \
+     "threaded_fault on inproc and socket)"

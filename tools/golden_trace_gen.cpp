@@ -1,7 +1,8 @@
-// golden_trace_gen: replay the two canonical golden-trace scenarios
+// golden_trace_gen: replay the canonical golden-trace scenarios
 // (docs/TRANSPORT.md "Golden-trace gate") with deterministic telemetry.
 //
-//   golden_trace_gen --scenario session        --out DIR
+//   golden_trace_gen --scenario session        --out DIR [--decision-path P]
+//   golden_trace_gen --scenario large_grid     --out DIR [--decision-path P]
 //   golden_trace_gen --scenario threaded_fault --out DIR [--transport T]
 //
 // `session` is the small modeled session from the telemetry tests (8
@@ -15,6 +16,15 @@
 // are recorded with TelemetryConfig::deterministic, so the measured
 // wall-clock columns are zeroed at the source and the remaining content is
 // a pure function of the scenario.
+//
+// `large_grid` is the canonical large deployment for the incremental
+// decision path: a 2×32 DP×PP grid on 8 DGX-H100 nodes (64 ranks),
+// capacity-aware diffusion every frame.  `--decision-path
+// incremental|rescan` selects the cost-surface implementation inside the
+// rebalancer (SessionConfig::incremental_decisions); the gate replays the
+// scenario under BOTH and byte-compares every telemetry table — the
+// session-level proof that the incremental surface changes no decision
+// (docs/COST_MODEL.md "Incremental recomputation").
 //
 // For threaded_fault the tool also runs the fault-free twin of the same
 // seed in memory and refuses (exit 2) to emit a golden whose recovery
@@ -34,13 +44,14 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --scenario session|threaded_fault --out DIR "
-               "[--transport inproc|socket]\n",
+               "usage: %s --scenario session|large_grid|threaded_fault "
+               "--out DIR [--transport inproc|socket] "
+               "[--decision-path incremental|rescan]\n",
                argv0);
   return 64;
 }
 
-void run_session(const std::string& out) {
+void run_session(const std::string& out, bool incremental) {
   using namespace dynmo;
   // Mirrors tests/test_telemetry.cpp traced_options(): change one only in
   // lockstep with the other (and regenerate the golden).
@@ -56,12 +67,47 @@ void run_session(const std::string& out) {
   opt.session.payoff_window_iters = 20.0;
   opt.session.telemetry.dir = out;
   opt.session.telemetry.deterministic = true;
+  opt.session.incremental_decisions = incremental;
   Session session(model::make_gpt({.num_blocks = 16,
                                    .include_embedding = false,
                                    .include_lm_head = false}),
                   UseCase::SparseAttention, opt);
   const auto result = session.run();
   std::printf("session: %zu frames traced, tokens/s %.6g\n",
+              static_cast<std::size_t>(opt.session.iterations /
+                                       opt.session.sim_stride),
+              result.tokens_per_sec);
+}
+
+void run_large_grid(const std::string& out, bool incremental) {
+  using namespace dynmo;
+  // Canonical large-grid scenario for the incremental decision path: the
+  // golden is generated once (rescan and incremental agree byte-for-byte,
+  // gated by check_golden_trace.sh) and replayed under both paths in CI.
+  Options opt;
+  opt.session.pipeline_stages = 32;
+  opt.session.data_parallel = 2;
+  opt.session.micro_batch = 2;
+  opt.session.num_microbatches = 16;
+  opt.session.iterations = 200;
+  opt.session.sim_stride = 10;
+  opt.session.rebalance_interval = 1;
+  opt.session.mode = runtime::BalancingMode::DynMo;
+  opt.session.algorithm = balance::Algorithm::Diffusion;
+  opt.session.payoff_window_iters = 20.0;
+  opt.session.deployment = cluster::Deployment::make_grid_topology_aware(
+      cluster::Topology::make_dgx_h100(8), /*data_parallel=*/2,
+      /*num_stages=*/32, cluster::GridOrientation::PpInner);
+  opt.session.telemetry.dir = out;
+  opt.session.telemetry.deterministic = true;
+  opt.session.incremental_decisions = incremental;
+  Session session(model::make_gpt({.num_blocks = 64,
+                                   .include_embedding = false,
+                                   .include_lm_head = false}),
+                  UseCase::SparseAttention, opt);
+  const auto result = session.run();
+  std::printf("large_grid[%s]: %zu frames traced, tokens/s %.6g\n",
+              incremental ? "incremental" : "rescan",
               static_cast<std::size_t>(opt.session.iterations /
                                        opt.session.sim_stride),
               result.tokens_per_sec);
@@ -133,6 +179,7 @@ int run_threaded_fault(const std::string& out, dynmo::comm::TransportKind k) {
 int main(int argc, char** argv) {
   std::string scenario, out;
   auto kind = dynmo::comm::TransportKind::InProc;
+  bool incremental = true;
   for (int i = 1; i < argc; ++i) {
     const auto need = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -147,6 +194,16 @@ int main(int argc, char** argv) {
       out = need("--out");
     } else if (std::strcmp(argv[i], "--transport") == 0) {
       kind = dynmo::comm::parse_transport(need("--transport"));
+    } else if (std::strcmp(argv[i], "--decision-path") == 0) {
+      const std::string p = need("--decision-path");
+      if (p == "incremental") {
+        incremental = true;
+      } else if (p == "rescan") {
+        incremental = false;
+      } else {
+        std::fprintf(stderr, "unknown decision path '%s'\n", p.c_str());
+        return 64;
+      }
     } else {
       return usage(argv[0]);
     }
@@ -155,7 +212,11 @@ int main(int argc, char** argv) {
 
   try {
     if (scenario == "session") {
-      run_session(out);
+      run_session(out, incremental);
+      return 0;
+    }
+    if (scenario == "large_grid") {
+      run_large_grid(out, incremental);
       return 0;
     }
     if (scenario == "threaded_fault") {
